@@ -1,0 +1,51 @@
+"""Ablations over the specialization model (DESIGN.md's ablation index).
+
+Not a paper table, but a study its methodology calls for: Section V-A
+says the classification thresholds were empirically chosen, and Section
+IV argues each of the six inputs matters.  These benchmarks quantify
+both claims against the Figure 5 sweep's empirical bests.
+"""
+
+from repro.harness import render_table
+from repro.harness.ablation import feature_ablation, threshold_sensitivity
+
+from .conftest import emit, get_sweep
+
+
+def test_ablation_thresholds(benchmark, results_dir):
+    sweep = get_sweep()
+    outcomes = benchmark.pedantic(
+        lambda: threshold_sensitivity(sweep), rounds=1, iterations=1
+    )
+    text = render_table(
+        [o.as_row() for o in outcomes],
+        title="Threshold sensitivity of the specialization model",
+    )
+    emit(results_dir, "ablation_thresholds.txt", text)
+
+    baseline = outcomes[0]
+    assert baseline.label == "paper thresholds"
+    # Exact-match counts are brittle under near-ties, so the robust
+    # criterion is the mean slowdown of the model's pick: the paper's
+    # thresholds must be (weakly) the best variant.
+    assert all(baseline.mean_gap <= o.mean_gap + 0.005 for o in outcomes)
+
+
+def test_ablation_features(benchmark, results_dir):
+    sweep = get_sweep()
+    outcomes = benchmark.pedantic(
+        lambda: feature_ablation(sweep), rounds=1, iterations=1
+    )
+    text = render_table(
+        [o.as_row() for o in outcomes],
+        title="Feature ablation: accuracy with one model input neutralized",
+    )
+    emit(results_dir, "ablation_features.txt", text)
+
+    full = outcomes[0]
+    assert full.label == "full model"
+    # On the robust criterion (mean slowdown of the model's pick),
+    # neutralizing an input never helps...
+    assert all(full.mean_gap <= o.mean_gap + 0.005 for o in outcomes[1:])
+    # ...and at least one input carries real signal.
+    assert any(o.mean_gap > full.mean_gap + 0.01 for o in outcomes[1:])

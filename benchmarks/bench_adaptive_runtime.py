@@ -1,0 +1,69 @@
+"""Runtime adaptation on a flexible system (the paper's future work).
+
+Compares three operating modes on representative workloads:
+
+* fixed configurations (the Figure 5 bars),
+* explore-then-commit online selection of coherence+consistency on a
+  Spandex-like flexible system (reconfiguration costs included), and
+* frontier-density push/pull direction switching for SSSP.
+"""
+
+import pytest
+
+from repro.adaptive import run_adaptive, run_direction_adaptive
+from repro.graph import DEFAULT_SIM_SCALE, sim_dataset
+from repro.harness import render_table
+from repro.sim.config import scaled_system
+
+from .conftest import emit
+
+
+@pytest.mark.parametrize("graph_key,app", [("RAJ", "PR"), ("WNG", "MIS")])
+def test_online_selection(benchmark, results_dir, graph_key, app):
+    graph = sim_dataset(graph_key)
+    system = scaled_system(DEFAULT_SIM_SCALE[graph_key])
+
+    result = benchmark.pedantic(
+        lambda: run_adaptive(app, graph, system=system, max_iters=8),
+        rounds=1, iterations=1,
+    )
+    rows = [{"Mode": f"fixed {code}", "Cycles": f"{cycles:.0f}"}
+            for code, cycles in sorted(result.fixed_cycles.items())]
+    rows.append({"Mode": f"adaptive (committed {result.committed})",
+                 "Cycles": f"{result.adaptive_cycles:.0f}"})
+    text = render_table(
+        rows, title=f"Online configuration selection: {app} on {graph.name}"
+    )
+    text += (f"\noracle: {result.oracle_code}; adaptive lands at "
+             f"{result.overhead_vs_oracle:.2f}x the oracle with "
+             f"{result.reconfigurations} reconfigurations")
+    emit(results_dir, f"adaptive_{app}_{graph_key}.txt", text)
+
+    assert result.overhead_vs_oracle < 2.0
+
+
+def test_direction_switching_sssp(benchmark, results_dir):
+    graph = sim_dataset("EML")
+    system = scaled_system(DEFAULT_SIM_SCALE["EML"])
+
+    result = benchmark.pedantic(
+        lambda: run_direction_adaptive("SSSP", graph, system=system,
+                                       max_iters=8),
+        rounds=1, iterations=1,
+    )
+    text = render_table([
+        {"Mode": "fixed push (SGR)",
+         "Cycles": f"{result.fixed_push_cycles:.0f}"},
+        {"Mode": "fixed pull (TG0)",
+         "Cycles": f"{result.fixed_pull_cycles:.0f}"},
+        {"Mode": "direction-adaptive",
+         "Cycles": f"{result.adaptive_cycles:.0f}"},
+    ], title="Frontier-driven direction switching: SSSP on EML")
+    text += (f"\nper-iteration directions: {' '.join(result.directions)} "
+             f"({result.switches} switches)")
+    emit(results_dir, "adaptive_direction_sssp.txt", text)
+
+    # The cost-model policy must track the better fixed direction closely
+    # (on this input push wins every iteration, so the policy should
+    # essentially reproduce fixed push).
+    assert result.adaptive_cycles <= 1.15 * result.best_fixed_cycles

@@ -1,0 +1,73 @@
+"""Analytical cost model vs the trace-driven simulator.
+
+The calibration question behind this repo ("could model predictively")
+in numbers: for every workload of the Figure 5 sweep, how well does the
+closed-form estimate rank the configurations the simulator actually
+ran?
+"""
+
+from repro.harness import render_table
+from repro.harness.ablation import graph_profiles_for_sweep
+from repro.configs import figure5_configurations
+from repro.kernels.registry import KERNELS
+from repro.model import estimate_design_space
+from repro.taxonomy import profile_workload
+
+from .conftest import emit, get_sweep
+
+
+def _spearman(ranks_a, ranks_b):
+    n = len(ranks_a)
+    if n < 2:
+        return 1.0
+    d2 = sum((a - b) ** 2 for a, b in zip(ranks_a, ranks_b))
+    return 1.0 - 6.0 * d2 / (n * (n * n - 1))
+
+
+def test_analytic_vs_simulator(benchmark, results_dir):
+    sweep = get_sweep()
+    profiles = graph_profiles_for_sweep(sweep)
+
+    def evaluate():
+        rows = []
+        correlations = []
+        top_hits = 0
+        for row in sweep.rows:
+            workload = profile_workload(profiles[row.graph], row.app)
+            configs = figure5_configurations(KERNELS[row.app].traversal)
+            estimates = estimate_design_space(workload, configs)
+            measured = {c: r.cycles for c, r in row.workload.results.items()}
+            codes = list(measured)
+            sim_rank = {c: i for i, c in enumerate(
+                sorted(codes, key=measured.get))}
+            est_rank = {c: i for i, c in enumerate(
+                sorted(codes, key=lambda c: estimates[c].total))}
+            rho = _spearman([sim_rank[c] for c in codes],
+                            [est_rank[c] for c in codes])
+            correlations.append(rho)
+            analytic_pick = min(codes, key=lambda c: estimates[c].total)
+            top2 = sorted(codes, key=measured.get)[:2]
+            top_hits += analytic_pick in top2
+            rows.append({
+                "Workload": f"{row.app}-{row.graph}",
+                "Sim best": row.best,
+                "Analytic pick": analytic_pick,
+                "In sim top-2": "yes" if analytic_pick in top2 else "no",
+                "Rank corr": f"{rho:.2f}",
+            })
+        return rows, correlations, top_hits
+
+    rows, correlations, top_hits = benchmark.pedantic(
+        evaluate, rounds=1, iterations=1
+    )
+    mean_rho = sum(correlations) / len(correlations)
+    text = render_table(
+        rows, title="Analytical cost model vs trace-driven simulator"
+    )
+    text += (f"\n\nmean Spearman rank correlation: {mean_rho:.2f}; "
+             f"analytic pick in the simulator's top-2 for "
+             f"{top_hits}/{len(rows)} workloads")
+    emit(results_dir, "analytic_vs_simulator.txt", text)
+
+    assert mean_rho > 0.4
+    assert top_hits >= len(rows) // 2

@@ -1,0 +1,58 @@
+"""Figure 5: execution-time breakdown for all 36 workloads.
+
+For every application x input, simulates the Figure 5 configurations
+(TG0, SG1, SGR, SD1, SDR for static apps; DG1, DGR, DD1, DDR for CC),
+normalizes to the leftmost bar (TG0 / DG1, as in the paper), and renders
+stacked bars segmented by the Busy/Comp/Data/Sync/Idle classification.
+"""
+
+import math
+
+from repro.harness import APPS, GRAPHS, render_bar, render_breakdown_bars
+
+from .conftest import emit, get_sweep
+
+
+def _geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def test_fig5_sweep(benchmark, results_dir):
+    sweep = benchmark.pedantic(get_sweep, rounds=1, iterations=1)
+
+    lines = [
+        "Figure 5: GPU execution time breakdown "
+        "(normalized to TG0; DG1 for CC)",
+        "bar glyphs: # busy  % comp  . data  ! sync  (blank) idle",
+        "",
+    ]
+    for app in APPS:
+        lines.append(f"== {app} ==")
+        best_norms = []
+        pred_norms = []
+        for graph in GRAPHS:
+            row = sweep.row(graph, app)
+            lines.append(f"-- {graph}  (best={row.best}, "
+                         f"pred={row.predicted})")
+            normalized = row.normalized()
+            for code, value in normalized.items():
+                breakdown = row.workload.results[code].breakdown
+                lines.append(render_breakdown_bars(code, breakdown, value))
+            best_norms.append(normalized[row.best])
+            pred_norms.append(normalized[row.predicted])
+        # The paper's per-app geomean bars over the six inputs.
+        lines.append("-- geomean across inputs")
+        lines.append(render_bar("BEST", _geomean(best_norms)))
+        lines.append(render_bar("PRED", _geomean(pred_norms)))
+        lines.append("")
+
+    exact = sweep.exact_predictions
+    close = sum(1 for r in sweep.rows
+                if not r.prediction_exact and r.prediction_gap <= 1.05)
+    lines.append(f"Model picks the empirical best for {exact}/36 workloads; "
+                 f"{close} more are within 5% of the best.")
+    emit(results_dir, "fig5_breakdown.txt", "\n".join(lines))
+
+    assert len(sweep.rows) == 36
+    for row in sweep.rows:
+        assert all(v > 0 for v in row.normalized().values())

@@ -1,0 +1,57 @@
+"""Figure 6 + the Section VI flexibility headline.
+
+Selects every workload where the default push configuration (SGR; DGR
+for CC) is not the empirical best and compares it against the best and
+the model's prediction, mirroring Figure 6's normalized bars.  Also
+reports the 'need for flexibility' statistics (the paper: 12 of 36
+workloads, 7-87% reduction, average 44%).
+"""
+
+from repro.harness import (
+    figure6_rows,
+    flexibility_stats,
+    format_pct,
+    render_bar,
+    render_table,
+)
+
+from .conftest import emit, get_sweep
+
+
+def test_fig6_best_vs_pred(benchmark, results_dir):
+    sweep = get_sweep()
+    rows = benchmark(lambda: figure6_rows(sweep))
+    stats = flexibility_stats(sweep)
+
+    lines = ["Figure 6: SGR (DGR for CC) vs empirical BEST vs model PRED",
+             ""]
+    table_rows = []
+    for row in rows:
+        lines.append(f"-- {row.app}-{row.graph}")
+        lines.append(render_bar(row.reference, 1.0))
+        lines.append(render_bar(f"BEST={row.best_code}", row.best_time))
+        lines.append(render_bar(f"PRED={row.pred_code}", row.pred_time))
+        table_rows.append({
+            "Workload": f"{row.app}-{row.graph}",
+            "Best": row.best_code,
+            "Best vs ref": f"{row.best_time:.3f}",
+            "Reduction": format_pct(row.best_reduction),
+            "Pred": row.pred_code,
+            "Pred vs ref": f"{row.pred_time:.3f}",
+        })
+    lines.append("")
+    lines.append(render_table(table_rows, title="Figure 6 summary"))
+    lines.append("")
+    lines.append(
+        f"Need for flexibility: the default configuration loses on "
+        f"{stats.default_losses}/{stats.total_workloads} workloads; "
+        f"the best configuration reduces execution time by "
+        f"{format_pct(stats.min_reduction)}-{format_pct(stats.max_reduction)}"
+        f" (average {format_pct(stats.avg_reduction)}).  Paper: 12/36, "
+        f"7%-87%, average 44%."
+    )
+    emit(results_dir, "fig6_best_vs_pred.txt", "\n".join(lines))
+
+    assert stats.default_losses + stats.default_wins == 36
+    # The headline result must hold: no single configuration wins all 36.
+    assert stats.default_losses > 0

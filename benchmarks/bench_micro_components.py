@@ -1,0 +1,95 @@
+"""Microbenchmarks of the core components (pytest-benchmark timings).
+
+Not a paper artifact: these track the throughput of the pieces the
+Figure 5 sweep is built from — cache lookups, the coherence protocols'
+access paths, taxonomy metrics, trace generation, and the engine itself —
+so performance regressions in the simulator are visible in isolation.
+"""
+
+import random
+
+import pytest
+
+from repro.graph import DegreeDistribution, GraphSpec, generate_graph
+from repro.kernels import EdgePhase, TraceBuilder
+from repro.sim import (
+    GPUSimulator,
+    KernelTrace,
+    SetAssocCache,
+    SystemConfig,
+    VALID,
+    acquire,
+    atomic,
+    load,
+    release,
+)
+from repro.taxonomy import imbalance_metric, reuse_metrics
+
+
+@pytest.fixture(scope="module")
+def medium_graph():
+    return generate_graph(GraphSpec(
+        num_vertices=4096,
+        degrees=DegreeDistribution("geometric", a=3.0, max_draws=32),
+        locality=0.3,
+        seed=11,
+        name="micro",
+    ))
+
+
+def test_cache_access_throughput(benchmark):
+    cache = SetAssocCache(512, 8)
+    rng = random.Random(0)
+    lines = [rng.randrange(4096) for _ in range(10_000)]
+
+    def run():
+        hits = 0
+        for line in lines:
+            if cache.lookup(line) is None:
+                cache.install(line, VALID)
+            else:
+                hits += 1
+        return hits
+
+    benchmark(run)
+
+
+def test_reuse_metric_throughput(benchmark, medium_graph):
+    result = benchmark(lambda: reuse_metrics(medium_graph))
+    assert 0.0 <= result.reuse <= 1.0
+
+
+def test_imbalance_metric_throughput(benchmark, medium_graph):
+    result = benchmark(lambda: imbalance_metric(medium_graph))
+    assert 0.0 <= result <= 1.0
+
+
+def test_trace_generation_throughput(benchmark, medium_graph):
+    cfg = SystemConfig()
+    builder = TraceBuilder(medium_graph, cfg)
+    trace = benchmark(
+        lambda: builder.realize(EdgePhase(name="micro"), "push")
+    )
+    assert trace.num_blocks
+
+
+def test_engine_throughput(benchmark):
+    cfg = SystemConfig()
+    rng = random.Random(0)
+    kernel = KernelTrace("micro")
+    for _ in range(16):
+        warps = []
+        for _ in range(8):
+            ops = [acquire()]
+            for _ in range(100):
+                ops.append(load([rng.randrange(5000)]))
+                ops.append(atomic([(rng.randrange(2000), 1)]))
+            ops.append(release())
+            warps.append(ops)
+        kernel.add_block(warps)
+
+    def run():
+        return GPUSimulator(cfg, "gpu", "drfrlx").run([kernel]).cycles
+
+    cycles = benchmark(run)
+    assert cycles > 0

@@ -1,0 +1,40 @@
+"""Section IV-B / VI: partial design space and dimension inter-dependence.
+
+Restricts the hardware to systems without DRFrlx, recomputes the best
+configuration per workload, counts push<->pull direction flips (the paper
+finds seven workloads where losing DRFrlx flips the recommendation to
+pull), and scores the partial model against the restricted-best.
+"""
+
+from repro.harness import interdependence_rows, render_table
+
+from .conftest import emit, get_sweep
+
+
+def test_partial_design_space(benchmark, results_dir):
+    sweep = get_sweep()
+    rows = benchmark(lambda: interdependence_rows(sweep))
+
+    flips = [r for r in rows if r["Direction flips"] == "yes"]
+    exact = sum(1 for r in rows if r["Partial exact"] == "yes")
+
+    text = render_table(
+        rows,
+        title=("Partial design space: best configuration with and without "
+               "DRFrlx (static apps)"),
+    )
+    text += (
+        f"\n\nDirection flips without DRFrlx: {len(flips)}/{len(rows)} "
+        f"workloads (paper: 7).\n"
+        f"Partial model picks the restricted-best exactly for "
+        f"{exact}/{len(rows)} workloads."
+    )
+    if flips:
+        text += "\nFlipped workloads: " + ", ".join(
+            f"{r['App']}-{r['Graph']}" for r in flips
+        )
+    emit(results_dir, "partial_design_space.txt", text)
+
+    assert len(rows) == 30  # 36 workloads minus the six CC rows
+    for row in rows:
+        assert not row["Best (no DRFrlx)"].endswith("R")

@@ -1,0 +1,53 @@
+"""Table I: the implementation design space and its salient features."""
+
+from repro.configs import all_configurations, parse_config
+from repro.harness import render_table
+
+from .conftest import emit
+
+ROWS = [
+    {"Implementation": "Pull (T)",
+     "Description": "Target in outer loop; dense local updates",
+     "Salient features": "Sparse remote reads; elide work at sources"},
+    {"Implementation": "Push (S)",
+     "Description": "Source in outer loop; dense local reads",
+     "Salient features": "Sparse remote atomics; elide work at targets"},
+    {"Implementation": "Push+Pull (D)",
+     "Description": "Non-deterministic source/target direction",
+     "Salient features": "Remote reads and updates"},
+    {"Implementation": "GPU coherence (G)",
+     "Description": "Write-through + self-invalidate L1 at sync",
+     "Salient features": "Atomics at L2 (bypass L1); good with low reuse"},
+    {"Implementation": "DeNovo (D)",
+     "Description": "Ownership registration at L1",
+     "Salient features": "Atomics at L1; good with high update reuse"},
+    {"Implementation": "DRF0 (0)",
+     "Description": "SC for acquires/releases",
+     "Salient features": "Data-data reordering only; programmability"},
+    {"Implementation": "DRF1 (1)",
+     "Description": "Unpaired sync overlaps data",
+     "Salient features": "Data-atomic reordering; programmability"},
+    {"Implementation": "DRFrlx (R)",
+     "Description": "Relaxed atomics overlap each other",
+     "Salient features": "Atomic-atomic reordering; imbalance MLP"},
+]
+
+
+def test_table1_design_space(benchmark, results_dir):
+    codes = [c.code for c in all_configurations("static")]
+    codes += [c.code for c in all_configurations("dynamic")]
+
+    def parse_all():
+        return [parse_config(code) for code in codes]
+
+    parsed = benchmark(parse_all)
+    assert len(parsed) == 13
+
+    text = render_table(ROWS, title="Table I: design space summary")
+    text += "\n\nStatic-app configurations: " + " ".join(
+        c.code for c in all_configurations("static")
+    )
+    text += "\nDynamic-app configurations: " + " ".join(
+        c.code for c in all_configurations("dynamic")
+    )
+    emit(results_dir, "table1_design_space.txt", text)

@@ -1,0 +1,27 @@
+"""Table III: algorithmic properties of the six applications."""
+
+from repro.harness import render_table
+from repro.taxonomy import APP_PROPERTIES
+
+from .conftest import emit
+
+PAPER_TABLE3 = {
+    "PR": ("Static", "Symmetric", "Source"),
+    "SSSP": ("Static", "Source", "Source"),
+    "MIS": ("Static", "Symmetric", "Symmetric"),
+    "CLR": ("Static", "Symmetric", "Target"),
+    "BC": ("Static", "Source", "Symmetric"),
+    "CC": ("Dynamic", "-", "-"),
+}
+
+
+def test_table3_properties(benchmark, results_dir):
+    rows = benchmark(
+        lambda: [props.as_row() for props in APP_PROPERTIES.values()]
+    )
+    for row in rows:
+        expected = PAPER_TABLE3[row["App"]]
+        assert (row["Traversal"], row["Control"], row["Information"]) == \
+            expected, f"Table III mismatch for {row['App']}"
+    text = render_table(rows, title="Table III: algorithmic properties")
+    emit(results_dir, "table3_properties.txt", text)

@@ -1,0 +1,34 @@
+"""Table IV: simulated heterogeneous system parameters."""
+
+from repro.sim import DEFAULT_SYSTEM, scaled_system
+from repro.harness import render_table
+
+from .conftest import emit
+
+
+def test_table4_system(benchmark, results_dir):
+    cfg = DEFAULT_SYSTEM
+    benchmark(lambda: scaled_system(16))
+
+    rows = [
+        {"Parameter": "CPU frequency", "Value": f"{cfg.cpu_frequency_mhz / 1000:.0f} GHz"},
+        {"Parameter": "CPU cores", "Value": cfg.cpu_cores},
+        {"Parameter": "GPU frequency", "Value": f"{cfg.gpu_frequency_mhz} MHz"},
+        {"Parameter": "GPU CUs", "Value": cfg.num_sms},
+        {"Parameter": "L1 size (8 banks, 8-way)", "Value": f"{cfg.l1_bytes // 1024} KB"},
+        {"Parameter": "L2 size (16 banks, NUCA)", "Value": f"{cfg.l2_bytes // (1024 * 1024)} MB"},
+        {"Parameter": "Store buffer size", "Value": f"{cfg.store_buffer_entries} entries"},
+        {"Parameter": "L1 MSHRs", "Value": f"{cfg.l1_mshrs} entries"},
+        {"Parameter": "L1 hit latency", "Value": f"{cfg.l1_hit_latency} cycle"},
+        {"Parameter": "Remote L1 hit latency",
+         "Value": f"{cfg.remote_l1_latency_min}-{cfg.remote_l1_latency_max} cycles"},
+        {"Parameter": "L2 hit latency",
+         "Value": f"{cfg.l2_latency_min}-{cfg.l2_latency_max} cycles"},
+        {"Parameter": "Memory latency",
+         "Value": f"{cfg.mem_latency_min}-{cfg.mem_latency_max} cycles"},
+    ]
+    text = render_table(rows, title="Table IV: simulated system parameters")
+    emit(results_dir, "table4_system.txt", text)
+
+    assert cfg.num_sms == 15
+    assert cfg.l2_bytes == 4 * 1024 * 1024

@@ -1,0 +1,55 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+The Figure 5 sweep is the expensive artifact (36 workloads x 4-5
+configurations of trace-driven simulation); Figures 6 and the partial
+design-space study are different views of the same data, so the sweep is
+computed once per pytest session and shared.
+
+Every benchmark writes its regenerated table/figure to ``results/`` and
+also prints it (run pytest with ``-s`` to see the output inline).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+_CACHE: dict = {}
+
+
+def quick_mode() -> bool:
+    """REPRO_BENCH_QUICK=1 trims iteration counts for smoke runs."""
+    return os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+
+def get_sweep():
+    """The full 36-workload sweep, computed once per session."""
+    if "sweep" not in _CACHE:
+        from repro.harness import run_sweep
+
+        max_iters = 2 if quick_mode() else None
+        _CACHE["sweep"] = run_sweep(
+            max_iters=max_iters,
+            progress=lambda label: print(f"  [sweep] {label}", flush=True),
+        )
+    return _CACHE["sweep"]
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def sweep():
+    return get_sweep()
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print a regenerated artifact and persist it under results/."""
+    print()
+    print(text)
+    (results_dir / name).write_text(text + "\n")

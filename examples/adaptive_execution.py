@@ -1,0 +1,49 @@
+"""Runtime adaptation on a flexible memory system.
+
+The paper closes by proposing "runtime methods that leverage flexible
+memory systems to achieve optimal performance".  This example shows both
+adaptation axes this library implements on a Spandex-like flexible
+simulator:
+
+1. online explore-then-commit selection of coherence + consistency, and
+2. frontier-density-driven push/pull direction switching for SSSP.
+
+Usage: python examples/adaptive_execution.py
+"""
+
+from repro.adaptive import run_adaptive, run_direction_adaptive
+from repro.graph import DEFAULT_SIM_SCALE, sim_dataset
+from repro.sim.config import scaled_system
+
+
+def online_selection_demo() -> None:
+    graph = sim_dataset("RAJ")
+    system = scaled_system(DEFAULT_SIM_SCALE["RAJ"])
+    print(f"== online configuration selection: PR on {graph.name}")
+    result = run_adaptive("PR", graph, system=system, max_iters=8)
+    for code, cycles in sorted(result.fixed_cycles.items()):
+        marker = " <- oracle" if code == result.oracle_code else ""
+        print(f"  fixed {code}: {cycles:12.0f} cycles{marker}")
+    print(f"  adaptive:  {result.adaptive_cycles:12.0f} cycles "
+          f"(committed to {result.committed} after exploring, "
+          f"{result.reconfigurations} reconfigurations, "
+          f"{result.overhead_vs_oracle:.2f}x the oracle)")
+
+
+def direction_switching_demo() -> None:
+    graph = sim_dataset("EML")
+    system = scaled_system(DEFAULT_SIM_SCALE["EML"])
+    print(f"\n== frontier-driven push/pull switching: SSSP on {graph.name}")
+    result = run_direction_adaptive("SSSP", graph, system=system,
+                                    max_iters=8)
+    print(f"  fixed push: {result.fixed_push_cycles:12.0f} cycles")
+    print(f"  fixed pull: {result.fixed_pull_cycles:12.0f} cycles")
+    print(f"  adaptive:   {result.adaptive_cycles:12.0f} cycles")
+    print(f"  directions: {' '.join(result.directions)}")
+    print(f"  ({result.switches} switches; sparse frontiers push, dense "
+          f"frontiers pull)")
+
+
+if __name__ == "__main__":
+    online_selection_demo()
+    direction_switching_demo()

@@ -1,0 +1,30 @@
+"""Runtime adaptation on flexible memory systems (the paper's future work).
+
+Three layers:
+
+* :class:`FlexibleSimulator` — Spandex-like hardware that reconfigures
+  coherence/consistency between kernel launches (with switching costs).
+* :class:`OnlineSelector` / :func:`run_adaptive` — explore-then-commit
+  selection of the coherence+consistency pair at runtime.
+* :class:`DirectionPolicy` / :func:`run_direction_adaptive` — per-
+  iteration push/pull switching driven by frontier density.
+"""
+
+from .direction import (
+    DirectionAdaptiveResult,
+    DirectionPolicy,
+    run_direction_adaptive,
+)
+from .flexible import FlexibleSimulator, ReconfigurationEvent
+from .online import AdaptiveResult, OnlineSelector, run_adaptive
+
+__all__ = [
+    "FlexibleSimulator",
+    "ReconfigurationEvent",
+    "OnlineSelector",
+    "AdaptiveResult",
+    "run_adaptive",
+    "DirectionPolicy",
+    "DirectionAdaptiveResult",
+    "run_direction_adaptive",
+]

@@ -1,0 +1,156 @@
+"""Online configuration selection (the paper's future-work direction).
+
+The static model predicts from compile-time parameters; the paper's
+conclusion proposes *runtime* methods on flexible memory systems.  The
+:class:`OnlineSelector` implements the simplest such method: sample each
+candidate configuration on the first iterations (one iteration each,
+cost-normalized per trace op), then commit to the cheapest for the rest
+of the run.  :func:`run_adaptive` executes a workload under the selector
+on a :class:`~repro.adaptive.flexible.FlexibleSimulator` and reports how
+close it lands to the best fixed configuration (the oracle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..configs import Configuration, figure5_configurations
+from ..graph.csr import CSRGraph
+from ..kernels import TraceBuilder, make_kernel
+from ..sim.config import DEFAULT_SYSTEM, SystemConfig
+from ..sim.trace import op_count
+from .flexible import FlexibleSimulator
+
+__all__ = ["OnlineSelector", "AdaptiveResult", "run_adaptive"]
+
+
+@dataclass
+class OnlineSelector:
+    """Explore-then-commit policy over a candidate configuration list."""
+
+    candidates: list[Configuration]
+    samples_per_candidate: int = 1
+    _scores: dict[str, list[float]] = field(default_factory=dict)
+    _committed: Configuration | None = None
+
+    def choose(self, iteration: int) -> Configuration:
+        """Configuration to run for the given iteration index."""
+        if self._committed is not None:
+            return self._committed
+        probe_window = len(self.candidates) * self.samples_per_candidate
+        if iteration < probe_window:
+            return self.candidates[iteration % len(self.candidates)]
+        self._commit()
+        return self._committed
+
+    def record(self, config: Configuration, cycles: float, ops: int) -> None:
+        """Feed back the cost of an explored iteration."""
+        if ops <= 0:
+            return
+        self._scores.setdefault(config.code, []).append(cycles / ops)
+
+    def _commit(self) -> None:
+        scored = {
+            code: sum(values) / len(values)
+            for code, values in self._scores.items()
+            if values
+        }
+        if not scored:
+            self._committed = self.candidates[0]
+            return
+        best = min(scored, key=scored.get)
+        self._committed = next(
+            c for c in self.candidates if c.code == best
+        )
+
+    @property
+    def committed(self) -> Configuration | None:
+        return self._committed
+
+
+@dataclass
+class AdaptiveResult:
+    """Outcome of an adaptive run next to its fixed-configuration rivals."""
+
+    adaptive_cycles: float
+    committed: str | None
+    fixed_cycles: dict[str, float]
+    reconfigurations: int
+
+    @property
+    def oracle_code(self) -> str:
+        return min(self.fixed_cycles, key=self.fixed_cycles.get)
+
+    @property
+    def oracle_cycles(self) -> float:
+        return self.fixed_cycles[self.oracle_code]
+
+    @property
+    def overhead_vs_oracle(self) -> float:
+        """adaptive / best-fixed (1.0 = matched the oracle)."""
+        return self.adaptive_cycles / self.oracle_cycles
+
+
+def run_adaptive(
+    app: str,
+    graph: CSRGraph,
+    candidates: list[Configuration] | None = None,
+    system: SystemConfig = DEFAULT_SYSTEM,
+    max_iters: int | None = None,
+    samples_per_candidate: int = 1,
+    reconfig_cycles: int = 2000,
+    seed: int = 0,
+) -> AdaptiveResult:
+    """Run a workload under explore-then-commit configuration selection.
+
+    ``candidates`` defaults to the push/dynamic members of the Figure 5
+    set (direction cannot change mid-run without re-generating data
+    structures, so the selector explores coherence+consistency; see
+    :mod:`repro.adaptive.direction` for push/pull switching).
+    """
+    kernel = make_kernel(app, graph, seed=seed)
+    if candidates is None:
+        default_direction = "dynamic" if kernel.traversal == "dynamic" \
+            else "push"
+        candidates = [c for c in figure5_configurations(kernel.traversal)
+                      if c.direction == default_direction]
+    directions = {c.direction for c in candidates}
+    if len(directions) != 1:
+        raise ValueError(
+            "adaptive candidates must share one update-propagation "
+            "direction; use repro.adaptive.direction for push/pull switching"
+        )
+    direction = "pull" if directions == {"pull"} else "push"
+
+    selector = OnlineSelector(candidates, samples_per_candidate)
+    builder = TraceBuilder(graph, system)
+    flexible = FlexibleSimulator(system, reconfig_cycles=reconfig_cycles)
+
+    # Fixed rivals share the adaptive run's traces.
+    from ..sim.engine import GPUSimulator
+
+    fixed = {
+        c.code: GPUSimulator(system, c.coherence, c.consistency)
+        for c in candidates
+    }
+
+    for index, iteration in enumerate(kernel.iterations(max_iters)):
+        choice = selector.choose(index)
+        traces = builder.realize_iteration(iteration, direction)
+        cycles = 0.0
+        ops = 0
+        for trace in traces:
+            cycles += flexible.feed(trace, choice.coherence,
+                                    choice.consistency)
+            ops += op_count(trace)
+            for simulator in fixed.values():
+                simulator.feed(trace)
+        selector.record(choice, cycles, ops)
+
+    return AdaptiveResult(
+        adaptive_cycles=flexible.result().cycles,
+        committed=(selector.committed.code
+                   if selector.committed is not None else None),
+        fixed_cycles={code: s.result().cycles for code, s in fixed.items()},
+        reconfigurations=len(flexible.events),
+    )

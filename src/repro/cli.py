@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+datasets              list the six dataset stand-ins and their classes
+profile GRAPH         Table II profile of one dataset (or a .mtx file)
+predict GRAPH APP     model prediction + decision-tree walkthrough
+run GRAPH APP         simulate the Figure 5 configurations for a workload
+sweep                 the full 36-workload sweep (slow)
+
+``GRAPH`` is one of AMZ DCT EML OLS RAJ WNG (built at its simulation
+scale) or a path to a Matrix Market file (profiled against the full-size
+Table IV machine).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from .configs import parse_config
+from .graph import DEFAULT_SIM_SCALE, PAPER_DATASETS, load_dataset, load_mtx
+from .graph.builders import normalize
+from .graph.generators import attach_random_weights
+from .harness import render_breakdown_bars, render_table, run_workload
+from .model import explain_prediction, predict_configuration
+from .sim.config import DEFAULT_SYSTEM, scaled_system
+from .taxonomy import APP_PROPERTIES, profile_graph, profile_workload
+
+__all__ = ["main"]
+
+
+def _resolve_graph(name: str):
+    """Return (graph, scale) for a dataset key or a .mtx path."""
+    if name.upper() in PAPER_DATASETS:
+        key = name.upper()
+        scale = DEFAULT_SIM_SCALE[key]
+        return load_dataset(key, scale=scale), scale
+    graph = attach_random_weights(normalize(load_mtx(name)))
+    return graph, 1
+
+
+def _profile_for(graph, scale):
+    return profile_graph(
+        graph,
+        num_sms=DEFAULT_SYSTEM.num_sms,
+        l1_bytes=DEFAULT_SYSTEM.l1_bytes // scale,
+        l2_bytes=DEFAULT_SYSTEM.l2_bytes // scale,
+        tb_size=DEFAULT_SYSTEM.tb_size,
+    )
+
+
+def _cmd_datasets(_args) -> int:
+    rows = []
+    for key, dataset in PAPER_DATASETS.items():
+        ref = dataset.paper
+        rows.append({
+            "Key": key,
+            "Description": dataset.description,
+            "Paper |V|": ref.vertices,
+            "Paper |E|": ref.edges,
+            "Classes (vol/reuse/imb)":
+                f"{ref.volume_class}/{ref.reuse_class}/{ref.imbalance_class}",
+            "Sim scale": DEFAULT_SIM_SCALE[key],
+        })
+    print(render_table(rows, title="Datasets (synthetic stand-ins)"))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    graph, scale = _resolve_graph(args.graph)
+    profile = _profile_for(graph, scale)
+    print(render_table([profile.as_row()], title=f"Profile of {graph.name}"))
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    graph, scale = _resolve_graph(args.graph)
+    app = args.app.upper()
+    if app not in APP_PROPERTIES:
+        print(f"unknown app {app!r}; choose from {sorted(APP_PROPERTIES)}",
+              file=sys.stderr)
+        return 2
+    workload = profile_workload(_profile_for(graph, scale), app)
+    for line in explain_prediction(workload):
+        print(line)
+    print(f"\nrecommended configuration: "
+          f"{predict_configuration(workload).code}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    graph, scale = _resolve_graph(args.graph)
+    app = args.app.upper()
+    system = scaled_system(scale)
+    configs = None
+    if args.configs:
+        configs = [parse_config(code) for code in args.configs.split(",")]
+    result = run_workload(app, graph, configs=configs, system=system,
+                          max_iters=args.iters)
+    print(f"{app} on {graph.name}: normalized execution time")
+    for code, value in result.normalized().items():
+        print(render_breakdown_bars(
+            code, result.results[code].breakdown, value))
+    print(f"best: {result.best_code}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .harness import flexibility_stats, format_pct, run_sweep
+
+    sweep = run_sweep(
+        max_iters=args.iters,
+        progress=lambda label: print(f"  {label}", flush=True),
+    )
+    rows = [{
+        "Workload": f"{r.app}-{r.graph}",
+        "Best": r.best,
+        "Predicted": r.predicted,
+        "Exact": "yes" if r.prediction_exact else
+                 f"no ({r.prediction_gap:.2f}x)",
+    } for r in sweep.rows]
+    print(render_table(rows, title="Sweep summary"))
+    stats = flexibility_stats(sweep)
+    print(f"\nmodel exact: {sweep.exact_predictions}/{len(sweep.rows)}; "
+          f"default loses on {stats.default_losses} workloads "
+          f"(avg reduction {format_pct(stats.avg_reduction)})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list dataset stand-ins")
+
+    p_profile = sub.add_parser("profile", help="Table II profile of a graph")
+    p_profile.add_argument("graph")
+
+    p_predict = sub.add_parser("predict", help="model recommendation")
+    p_predict.add_argument("graph")
+    p_predict.add_argument("app")
+
+    p_run = sub.add_parser("run", help="simulate one workload")
+    p_run.add_argument("graph")
+    p_run.add_argument("app")
+    p_run.add_argument("--configs", help="comma-separated codes (e.g. "
+                                         "TG0,SGR,SDR)")
+    p_run.add_argument("--iters", type=int, default=None,
+                       help="cap simulated iterations")
+
+    p_sweep = sub.add_parser("sweep", help="full 36-workload sweep (slow)")
+    p_sweep.add_argument("--iters", type=int, default=None)
+    return parser
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "profile": _cmd_profile,
+    "predict": _cmd_predict,
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

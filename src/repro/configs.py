@@ -1,0 +1,111 @@
+"""System configurations and the paper's three-letter naming (Section V-D).
+
+A configuration is one point in the 3-D design space: update propagation
+(pull / push / dynamic push+pull), coherence protocol (GPU / DeNovo), and
+consistency model (DRF0 / DRF1 / DRFrlx).  Codes read left to right:
+
+* ``T`` target (pull), ``S`` source (push), ``D`` dynamic (push+pull);
+* ``G`` GPU coherence, ``D`` DeNovo;
+* ``0`` DRF0, ``1`` DRF1, ``R`` DRFrlx.
+
+``SGR`` is therefore push + GPU coherence + DRFrlx, the paper's most
+frequent winner; ``TG0`` is the canonical pull baseline; ``DD1`` the
+predicted configuration for CC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Configuration",
+    "parse_config",
+    "all_configurations",
+    "figure5_configurations",
+    "PULL_BASELINE",
+    "PUSH_DEFAULT",
+]
+
+_DIRECTIONS = {"T": "pull", "S": "push", "D": "dynamic"}
+_DIRECTION_CODES = {v: k for k, v in _DIRECTIONS.items()}
+_COHERENCE = {"G": "gpu", "D": "denovo"}
+_COHERENCE_CODES = {v: k for k, v in _COHERENCE.items()}
+_CONSISTENCY = {"0": "drf0", "1": "drf1", "R": "drfrlx"}
+_CONSISTENCY_CODES = {v: k for k, v in _CONSISTENCY.items()}
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One (direction, coherence, consistency) system configuration."""
+
+    direction: str  # 'pull' | 'push' | 'dynamic'
+    coherence: str  # 'gpu' | 'denovo'
+    consistency: str  # 'drf0' | 'drf1' | 'drfrlx'
+
+    def __post_init__(self) -> None:
+        if self.direction not in _DIRECTION_CODES:
+            raise ValueError(f"bad direction {self.direction!r}")
+        if self.coherence not in _COHERENCE_CODES:
+            raise ValueError(f"bad coherence {self.coherence!r}")
+        if self.consistency not in _CONSISTENCY_CODES:
+            raise ValueError(f"bad consistency {self.consistency!r}")
+
+    @property
+    def code(self) -> str:
+        """The paper's three-letter code (e.g. 'SGR')."""
+        return (
+            _DIRECTION_CODES[self.direction]
+            + _COHERENCE_CODES[self.coherence]
+            + _CONSISTENCY_CODES[self.consistency]
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.code
+
+
+def parse_config(code: str) -> Configuration:
+    """Parse a three-letter code like 'SGR' into a Configuration."""
+    if len(code) != 3:
+        raise ValueError(f"configuration code must be 3 letters: {code!r}")
+    d, c, m = code[0].upper(), code[1].upper(), code[2].upper()
+    if d not in _DIRECTIONS or c not in _COHERENCE or m not in _CONSISTENCY:
+        raise ValueError(f"unknown configuration code {code!r}")
+    return Configuration(_DIRECTIONS[d], _COHERENCE[c], _CONSISTENCY[m])
+
+
+def all_configurations(traversal: str = "static") -> list[Configuration]:
+    """The 12-point design space for an application's traversal type.
+
+    Static-traversal apps choose pull or push (but pull performs no
+    fine-grained atomics, so its coherence/consistency variants collapse —
+    the paper keeps only TG0); dynamic apps are push+pull with all four
+    coherence x {DRF1, DRFrlx} combinations plus DRF0 variants.
+    """
+    if traversal == "dynamic":
+        return [
+            Configuration("dynamic", coh, con)
+            for coh in ("gpu", "denovo")
+            for con in ("drf0", "drf1", "drfrlx")
+        ]
+    configs = [Configuration("pull", "gpu", "drf0")]
+    configs += [
+        Configuration("push", coh, con)
+        for coh in ("gpu", "denovo")
+        for con in ("drf0", "drf1", "drfrlx")
+    ]
+    return configs
+
+
+def figure5_configurations(traversal: str = "static") -> list[Configuration]:
+    """The configurations shown per workload in Figure 5.
+
+    Static apps: TG0, SG1, SGR, SD1, SDR (push DRF0 omitted — atomics make
+    it uniformly poor).  Dynamic apps (CC): DG1, DGR, DD1, DDR.
+    """
+    if traversal == "dynamic":
+        return [parse_config(c) for c in ("DG1", "DGR", "DD1", "DDR")]
+    return [parse_config(c) for c in ("TG0", "SG1", "SGR", "SD1", "SDR")]
+
+
+PULL_BASELINE = parse_config("TG0")
+PUSH_DEFAULT = parse_config("SGR")

@@ -1,0 +1,149 @@
+"""Graph construction and normalization utilities.
+
+The paper preprocesses every input in the same way (Section V-A): remove
+self-edges and convert to a directed, symmetric graph so push and pull
+kernels read the same input.  :func:`normalize` applies that pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = [
+    "from_edge_list",
+    "deduplicate",
+    "remove_self_loops",
+    "symmetrize",
+    "normalize",
+    "relabel",
+    "subgraph",
+]
+
+
+def from_edge_list(
+    num_vertices: int,
+    sources,
+    destinations,
+    weights=None,
+    name: str = "graph",
+) -> CSRGraph:
+    """Build a :class:`CSRGraph` from parallel source/destination arrays.
+
+    Edges are sorted by (source, destination); duplicates are preserved
+    (use :func:`deduplicate` to drop them).
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    destinations = np.asarray(destinations, dtype=np.int64)
+    if sources.shape != destinations.shape:
+        raise ValueError("sources and destinations must have equal length")
+    if sources.size and (sources.min() < 0 or sources.max() >= num_vertices):
+        raise ValueError("source vertex out of range")
+    if destinations.size and (
+        destinations.min() < 0 or destinations.max() >= num_vertices
+    ):
+        raise ValueError("destination vertex out of range")
+    order = np.lexsort((destinations, sources))
+    sources = sources[order]
+    destinations = destinations[order]
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)[order]
+    counts = np.bincount(sources, minlength=num_vertices)
+    indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+    return CSRGraph(indptr, destinations, weights, name=name)
+
+
+def _edge_arrays(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
+    sources = np.repeat(
+        np.arange(graph.num_vertices, dtype=np.int64), graph.out_degrees
+    )
+    return sources, graph.indices.copy()
+
+
+def deduplicate(graph: CSRGraph) -> CSRGraph:
+    """Drop parallel edges, keeping the first weight of each duplicate set."""
+    sources, dests = _edge_arrays(graph)
+    keys = sources * graph.num_vertices + dests
+    _, first = np.unique(keys, return_index=True)
+    first.sort()
+    weights = None if graph.weights is None else graph.weights[first]
+    return from_edge_list(
+        graph.num_vertices, sources[first], dests[first], weights,
+        name=graph.name,
+    )
+
+
+def remove_self_loops(graph: CSRGraph) -> CSRGraph:
+    """Drop every edge whose endpoints coincide."""
+    sources, dests = _edge_arrays(graph)
+    keep = sources != dests
+    weights = None if graph.weights is None else graph.weights[keep]
+    return from_edge_list(
+        graph.num_vertices, sources[keep], dests[keep], weights,
+        name=graph.name,
+    )
+
+
+def symmetrize(graph: CSRGraph) -> CSRGraph:
+    """Add the reverse of every edge, then deduplicate.
+
+    For weighted graphs the reverse edge inherits the forward weight; when
+    both directions exist the lexicographically first occurrence wins.
+    """
+    sources, dests = _edge_arrays(graph)
+    all_sources = np.concatenate([sources, dests])
+    all_dests = np.concatenate([dests, sources])
+    weights = None
+    if graph.weights is not None:
+        weights = np.concatenate([graph.weights, graph.weights])
+    doubled = from_edge_list(
+        graph.num_vertices, all_sources, all_dests, weights, name=graph.name
+    )
+    return deduplicate(doubled)
+
+
+def normalize(graph: CSRGraph) -> CSRGraph:
+    """Apply the paper's input pipeline: no self-loops, symmetric, simple."""
+    return symmetrize(remove_self_loops(deduplicate(graph)))
+
+
+def relabel(graph: CSRGraph, permutation) -> CSRGraph:
+    """Relabel vertices: new id of old vertex ``v`` is ``permutation[v]``.
+
+    Relabeling changes thread-block assignment and therefore the taxonomy's
+    reuse and imbalance metrics; the dataset generators use it to control
+    spatial degree correlation.
+    """
+    permutation = np.asarray(permutation, dtype=np.int64)
+    if permutation.size != graph.num_vertices:
+        raise ValueError("permutation must cover every vertex")
+    if not np.array_equal(np.sort(permutation), np.arange(graph.num_vertices)):
+        raise ValueError("permutation must be a bijection on vertex ids")
+    sources, dests = _edge_arrays(graph)
+    return from_edge_list(
+        graph.num_vertices,
+        permutation[sources],
+        permutation[dests],
+        graph.weights,
+        name=graph.name,
+    )
+
+
+def subgraph(graph: CSRGraph, vertices) -> CSRGraph:
+    """Induced subgraph on ``vertices`` (relabeled to 0..len-1, input order)."""
+    vertices = np.asarray(vertices, dtype=np.int64)
+    if np.unique(vertices).size != vertices.size:
+        raise ValueError("vertices must be unique")
+    mapping = np.full(graph.num_vertices, -1, dtype=np.int64)
+    mapping[vertices] = np.arange(vertices.size)
+    sources, dests = _edge_arrays(graph)
+    keep = (mapping[sources] >= 0) & (mapping[dests] >= 0)
+    weights = None if graph.weights is None else graph.weights[keep]
+    return from_edge_list(
+        vertices.size,
+        mapping[sources[keep]],
+        mapping[dests[keep]],
+        weights,
+        name=f"{graph.name}-sub",
+    )

@@ -1,0 +1,103 @@
+"""Matrix Market graph IO.
+
+The paper's inputs come from the SuiteSparse matrix collection, which is
+distributed in Matrix Market (``.mtx``) coordinate format.  This module
+implements the subset of the format needed for graph inputs so locally
+stored SuiteSparse files can be used directly: ``matrix coordinate``
+objects with ``pattern``/``real``/``integer`` fields and
+``general``/``symmetric`` storage.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .builders import from_edge_list, symmetrize
+from .csr import CSRGraph
+
+__all__ = ["load_mtx", "save_mtx", "MatrixMarketError"]
+
+
+class MatrixMarketError(ValueError):
+    """Raised for malformed Matrix Market content."""
+
+
+_SUPPORTED_FIELDS = {"pattern", "real", "integer"}
+_SUPPORTED_SYMMETRIES = {"general", "symmetric"}
+
+
+def load_mtx(path: str | os.PathLike, name: str | None = None) -> CSRGraph:
+    """Load a Matrix Market coordinate file as a directed graph.
+
+    Symmetric storage is expanded to both directions.  Vertex ids are the
+    matrix row/column indices minus one.  Rectangular matrices are rejected
+    (graph adjacency must be square).
+    """
+    with open(path, "r", encoding="ascii") as handle:
+        header = handle.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise MatrixMarketError("missing %%MatrixMarket header")
+        parts = header.strip().split()
+        if len(parts) != 5:
+            raise MatrixMarketError(f"malformed header: {header.strip()!r}")
+        _, obj, fmt, field, symmetry = (p.lower() for p in parts)
+        if obj != "matrix" or fmt != "coordinate":
+            raise MatrixMarketError(
+                "only 'matrix coordinate' files are supported"
+            )
+        if field not in _SUPPORTED_FIELDS:
+            raise MatrixMarketError(f"unsupported field {field!r}")
+        if symmetry not in _SUPPORTED_SYMMETRIES:
+            raise MatrixMarketError(f"unsupported symmetry {symmetry!r}")
+
+        line = handle.readline()
+        while line.startswith("%"):
+            line = handle.readline()
+        try:
+            rows, cols, nnz = (int(tok) for tok in line.split())
+        except ValueError as exc:
+            raise MatrixMarketError(f"bad size line: {line.strip()!r}") from exc
+        if rows != cols:
+            raise MatrixMarketError("adjacency matrix must be square")
+
+        data = np.loadtxt(handle, ndmin=2) if nnz else np.empty((0, 2))
+    if data.shape[0] != nnz:
+        raise MatrixMarketError(
+            f"expected {nnz} entries, found {data.shape[0]}"
+        )
+    expected_cols = 2 if field == "pattern" else 3
+    if nnz and data.shape[1] != expected_cols:
+        raise MatrixMarketError(
+            f"expected {expected_cols} columns for field {field!r}"
+        )
+    sources = data[:, 0].astype(np.int64) - 1
+    dests = data[:, 1].astype(np.int64) - 1
+    weights = data[:, 2].astype(np.float64) if field != "pattern" else None
+    graph_name = name or os.path.splitext(os.path.basename(path))[0]
+    graph = from_edge_list(rows, sources, dests, weights, name=graph_name)
+    if symmetry == "symmetric":
+        graph = symmetrize(graph)
+        graph.name = graph_name
+    return graph
+
+
+def save_mtx(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write a graph in Matrix Market general coordinate format."""
+    field = "pattern" if graph.weights is None else "real"
+    sources = np.repeat(
+        np.arange(graph.num_vertices, dtype=np.int64), graph.out_degrees
+    )
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(f"%%MatrixMarket matrix coordinate {field} general\n")
+        handle.write(f"% graph: {graph.name}\n")
+        handle.write(
+            f"{graph.num_vertices} {graph.num_vertices} {graph.num_edges}\n"
+        )
+        if graph.weights is None:
+            for s, d in zip(sources + 1, graph.indices + 1):
+                handle.write(f"{s} {d}\n")
+        else:
+            for s, d, w in zip(sources + 1, graph.indices + 1, graph.weights):
+                handle.write(f"{s} {d} {w:.17g}\n")

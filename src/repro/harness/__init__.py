@@ -1,0 +1,36 @@
+"""Experiment harness: runners, sweeps, comparisons, and reports."""
+
+from .compare import (
+    Figure6Row,
+    FlexibilityStats,
+    figure6_rows,
+    flexibility_stats,
+    interdependence_rows,
+)
+from .report import (
+    format_pct,
+    render_bar,
+    render_breakdown_bars,
+    render_table,
+)
+from .runner import WorkloadResult, run_workload
+from .sweep import APPS, GRAPHS, SweepResult, SweepRow, run_sweep
+
+__all__ = [
+    "WorkloadResult",
+    "run_workload",
+    "SweepRow",
+    "SweepResult",
+    "run_sweep",
+    "APPS",
+    "GRAPHS",
+    "Figure6Row",
+    "figure6_rows",
+    "FlexibilityStats",
+    "flexibility_stats",
+    "interdependence_rows",
+    "render_table",
+    "render_bar",
+    "render_breakdown_bars",
+    "format_pct",
+]

@@ -1,0 +1,94 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+Every benchmark prints through these helpers so the regenerated artifacts
+look the same everywhere: aligned ASCII tables, and horizontal stacked
+bars for the Figure 5/6 execution-time breakdowns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..sim.stalls import CATEGORIES, StallBreakdown
+
+__all__ = ["render_table", "render_bar", "render_breakdown_bars",
+           "format_pct"]
+
+_SEGMENT_CHARS = {
+    "busy": "#",
+    "comp": "%",
+    "data": ".",
+    "sync": "!",
+    "idle": " ",
+}
+
+
+def render_table(rows: Iterable[dict], title: str | None = None) -> str:
+    """Render dict rows as an aligned ASCII table (first row sets columns)."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    columns = list(rows[0].keys())
+    widths = {
+        col: max(len(str(col)), *(len(str(r.get(col, ""))) for r in rows))
+        for col in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def render_bar(
+    label: str,
+    value: float,
+    scale: float = 40.0,
+    max_value: float = 2.5,
+    suffix: str = "",
+) -> str:
+    """One horizontal bar, clipped at ``max_value`` (with a ``+`` marker)."""
+    clipped = min(value, max_value)
+    width = int(round(clipped / max_value * scale))
+    overflow = "+" if value > max_value else ""
+    return f"{label:>6s} |{'#' * width}{overflow} {value:.3f}{suffix}"
+
+
+def render_breakdown_bars(
+    label: str,
+    breakdown: StallBreakdown,
+    normalized_time: float,
+    scale: float = 40.0,
+    max_value: float = 2.5,
+) -> str:
+    """A stacked bar segmented by stall category (Figure 5's bar style).
+
+    ``normalized_time`` is the bar's total length relative to the
+    workload's baseline configuration; segments split it by the
+    breakdown's category fractions using one glyph per category
+    (# busy, % comp, . data, ! sync, idle blank).
+    """
+    fractions = breakdown.fractions()
+    clipped = min(normalized_time, max_value)
+    total_width = int(round(clipped / max_value * scale))
+    segments = []
+    used = 0
+    for category in CATEGORIES:
+        width = int(round(fractions[category] * total_width))
+        width = min(width, total_width - used)
+        segments.append(_SEGMENT_CHARS[category] * width)
+        used += width
+    bar = "".join(segments).ljust(total_width)
+    overflow = "+" if normalized_time > max_value else ""
+    return f"{label:>6s} |{bar}{overflow}| {normalized_time:.3f}"
+
+
+def format_pct(fraction: float) -> str:
+    """0.1234 -> '12.3%'."""
+    return f"{100.0 * fraction:.1f}%"

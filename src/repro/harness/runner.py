@@ -1,0 +1,112 @@
+"""Workload runner: one (app, graph) pair across many configurations.
+
+Traces are generated once per update-propagation direction and streamed to
+every configuration's simulator, so a Figure 5 sweep pays trace-generation
+cost once per workload, not once per bar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..configs import Configuration, figure5_configurations
+from ..graph.csr import CSRGraph
+from ..kernels import TraceBuilder, make_kernel
+from ..sim.config import DEFAULT_SYSTEM, SystemConfig
+from ..sim.engine import ExecutionResult, GPUSimulator
+
+__all__ = ["WorkloadResult", "run_workload"]
+
+
+@dataclass
+class WorkloadResult:
+    """Timing of one workload across a configuration set."""
+
+    app: str
+    graph_name: str
+    results: dict[str, ExecutionResult] = field(default_factory=dict)
+
+    def cycles(self, code: str) -> float:
+        """Execution cycles of one configuration."""
+        return self.results[code].cycles
+
+    @property
+    def best_code(self) -> str:
+        """Configuration with the lowest execution time."""
+        return min(self.results, key=lambda code: self.results[code].cycles)
+
+    def normalized(self, baseline: str | None = None) -> dict[str, float]:
+        """Cycles of every configuration relative to a baseline.
+
+        Defaults to the first configuration fed to the runner, which for
+        Figure 5 ordering is the paper's normalization bar (TG0 for static
+        apps, DG1 for CC).
+        """
+        if baseline is None:
+            baseline = next(iter(self.results))
+        base = self.results[baseline].cycles
+        if base == 0:
+            raise ZeroDivisionError("baseline configuration took 0 cycles")
+        return {
+            code: result.cycles / base
+            for code, result in self.results.items()
+        }
+
+
+def _trace_direction(config_direction: str) -> str:
+    """Map a configuration direction onto a trace realization direction."""
+    # Dynamic phases ignore direction, so any value works for 'dynamic';
+    # push keeps the realization symmetric with the config naming.
+    return "pull" if config_direction == "pull" else "push"
+
+
+def run_workload(
+    app: str,
+    graph: CSRGraph,
+    configs: list[Configuration] | None = None,
+    system: SystemConfig = DEFAULT_SYSTEM,
+    max_iters: int | None = None,
+    seed: int = 0,
+) -> WorkloadResult:
+    """Simulate one workload on each configuration; share trace generation.
+
+    ``configs`` defaults to the Figure 5 set for the app's traversal type.
+    Raises ``ValueError`` when a configuration's direction is incompatible
+    with the application (CC cannot be pushed or pulled; static apps have
+    no 'dynamic' realization).
+    """
+    kernel = make_kernel(app, graph, seed=seed)
+    if configs is None:
+        configs = figure5_configurations(kernel.traversal)
+    for config in configs:
+        if kernel.traversal == "dynamic" and config.direction != "dynamic":
+            raise ValueError(
+                f"{app} has dynamic traversal; {config.code} is not runnable"
+            )
+        if kernel.traversal == "static" and config.direction == "dynamic":
+            raise ValueError(
+                f"{app} has static traversal; {config.code} is not runnable"
+            )
+
+    builder = TraceBuilder(graph, system)
+    simulators = {
+        config.code: (config, GPUSimulator(
+            system, config.coherence, config.consistency
+        ))
+        for config in configs
+    }
+    directions = {_trace_direction(c.direction) for c in configs}
+
+    for iteration in kernel.iterations(max_iters):
+        realized = {
+            direction: builder.realize_iteration(iteration, direction)
+            for direction in directions
+        }
+        for config, simulator in simulators.values():
+            for trace in realized[_trace_direction(config.direction)]:
+                simulator.feed(trace)
+
+    outcome = WorkloadResult(app=app, graph_name=graph.name)
+    for code, (_, simulator) in simulators.items():
+        outcome.results[code] = simulator.result()
+    return outcome

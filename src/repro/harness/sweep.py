@@ -1,0 +1,144 @@
+"""Full evaluation sweep: the paper's 36 workloads x Figure 5 configs.
+
+Produces one :class:`SweepRow` per workload carrying the normalized
+execution times, the empirical best configuration, and the model's
+prediction — everything Figures 5/6 and Table V compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..configs import figure5_configurations
+from ..graph.datasets import DEFAULT_SIM_SCALE, load_dataset
+from ..kernels.registry import KERNELS
+from ..model import predict_configuration, predict_partial_configuration
+from ..sim.config import DEFAULT_SYSTEM, SystemConfig, scaled_system
+from ..taxonomy import profile_graph, profile_workload
+from .runner import WorkloadResult, run_workload
+
+__all__ = ["SweepRow", "SweepResult", "run_sweep", "APPS", "GRAPHS"]
+
+APPS: tuple[str, ...] = ("PR", "SSSP", "MIS", "CLR", "BC", "CC")
+GRAPHS: tuple[str, ...] = ("AMZ", "DCT", "EML", "OLS", "RAJ", "WNG")
+
+
+@dataclass
+class SweepRow:
+    """One workload's outcome across its Figure 5 configurations."""
+
+    graph: str
+    app: str
+    workload: WorkloadResult
+    predicted: str
+    predicted_partial: str
+
+    @property
+    def best(self) -> str:
+        """Empirically fastest configuration code."""
+        return self.workload.best_code
+
+    @property
+    def baseline(self) -> str:
+        """The normalization bar (TG0, or DG1 for dynamic apps)."""
+        return next(iter(self.workload.results))
+
+    def normalized(self) -> dict[str, float]:
+        """Execution time of each configuration relative to the baseline."""
+        return self.workload.normalized()
+
+    @property
+    def prediction_exact(self) -> bool:
+        """Did the model pick the empirically best configuration?"""
+        return self.predicted == self.best
+
+    @property
+    def prediction_gap(self) -> float:
+        """Slowdown of the predicted configuration vs the empirical best."""
+        cycles = self.workload.results
+        return cycles[self.predicted].cycles / cycles[self.best].cycles
+
+
+@dataclass
+class SweepResult:
+    """All rows of a sweep plus convenient aggregates."""
+
+    rows: list = field(default_factory=list)
+
+    def row(self, graph: str, app: str) -> SweepRow:
+        """Look up one workload's row."""
+        for row in self.rows:
+            if row.graph == graph and row.app == app:
+                return row
+        raise KeyError(f"no row for ({graph}, {app})")
+
+    @property
+    def exact_predictions(self) -> int:
+        return sum(row.prediction_exact for row in self.rows)
+
+    def rows_where_config_loses(self, code: str = "SGR",
+                                dynamic_code: str = "DGR") -> list:
+        """Workloads where the default push config is not the best.
+
+        This is Figure 6's selection: SGR for static apps, DGR for CC.
+        """
+        losers = []
+        for row in self.rows:
+            reference = dynamic_code if row.app == "CC" else code
+            if row.best != reference:
+                losers.append(row)
+        return losers
+
+
+def run_sweep(
+    graphs: Iterable[str] = GRAPHS,
+    apps: Iterable[str] = APPS,
+    max_iters: int | None = None,
+    seed: int = 0,
+    scales: dict[str, int] | None = None,
+    base_system: SystemConfig = DEFAULT_SYSTEM,
+    progress: Callable[[str], None] | None = None,
+) -> SweepResult:
+    """Run the full evaluation sweep.
+
+    Each graph is generated at its default simulation scale with caches
+    scaled to match, so taxonomy classes — and hence model predictions —
+    equal the full-size graphs' (see DESIGN.md).  ``max_iters`` caps the
+    simulated iterations per workload (None = each kernel's default).
+    """
+    scales = scales or DEFAULT_SIM_SCALE
+    result = SweepResult()
+    for graph_key in graphs:
+        scale = scales[graph_key]
+        graph = load_dataset(graph_key, scale=scale, seed=seed)
+        system = scaled_system(scale, base_system)
+        graph_profile = profile_graph(
+            graph,
+            num_sms=base_system.num_sms,
+            l1_bytes=base_system.l1_bytes // scale,
+            l2_bytes=base_system.l2_bytes // scale,
+            tb_size=base_system.tb_size,
+        )
+        for app in apps:
+            if progress is not None:
+                progress(f"{graph_key}/{app}")
+            workload_profile = profile_workload(graph_profile, app)
+            predicted = predict_configuration(workload_profile)
+            partial = predict_partial_configuration(workload_profile)
+            traversal = KERNELS[app].traversal
+            workload = run_workload(
+                app, graph,
+                configs=figure5_configurations(traversal),
+                system=system,
+                max_iters=max_iters,
+                seed=seed,
+            )
+            result.rows.append(SweepRow(
+                graph=graph_key,
+                app=app,
+                workload=workload,
+                predicted=predicted.code,
+                predicted_partial=partial.code,
+            ))
+    return result

@@ -1,0 +1,33 @@
+"""Graph kernels: the six applications plus phase/trace machinery."""
+
+from .base import (
+    DynamicPhase,
+    EdgePhase,
+    GraphKernel,
+    VertexPhase,
+)
+from .bc import BCResult, BetweennessCentrality
+from .cc import ConnectedComponents
+from .coloring import GraphColoring
+from .mis import MIS
+from .pagerank import PageRank
+from .registry import KERNELS, make_kernel
+from .sssp import SSSP
+from .tracegen import TraceBuilder
+
+__all__ = [
+    "GraphKernel",
+    "EdgePhase",
+    "VertexPhase",
+    "DynamicPhase",
+    "PageRank",
+    "SSSP",
+    "MIS",
+    "GraphColoring",
+    "BetweennessCentrality",
+    "BCResult",
+    "ConnectedComponents",
+    "KERNELS",
+    "make_kernel",
+    "TraceBuilder",
+]

@@ -1,0 +1,34 @@
+"""Application registry: name -> kernel class."""
+
+from __future__ import annotations
+
+from ..graph.csr import CSRGraph
+from .base import GraphKernel
+from .bc import BetweennessCentrality
+from .cc import ConnectedComponents
+from .coloring import GraphColoring
+from .mis import MIS
+from .pagerank import PageRank
+from .sssp import SSSP
+
+__all__ = ["KERNELS", "make_kernel"]
+
+KERNELS: dict[str, type[GraphKernel]] = {
+    "PR": PageRank,
+    "SSSP": SSSP,
+    "MIS": MIS,
+    "CLR": GraphColoring,
+    "BC": BetweennessCentrality,
+    "CC": ConnectedComponents,
+}
+
+
+def make_kernel(app: str, graph: CSRGraph, seed: int = 0) -> GraphKernel:
+    """Instantiate the named application over a graph."""
+    try:
+        cls = KERNELS[app]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {app!r}; choose from {sorted(KERNELS)}"
+        ) from None
+    return cls(graph, seed=seed)

@@ -1,0 +1,265 @@
+"""Realize abstract kernel phases as push/pull warp traces.
+
+This is where the paper's Figure 1 duality lives: one :class:`EdgePhase`
+becomes either a push kernel (sources in the outer loop, hoisted source
+loads, sparse remote atomics) or a pull kernel (targets in the outer loop,
+hoisted target loads, blocking sparse remote reads, one dense non-atomic
+update per target).
+
+Warp lockstep is modeled by *rounds*: in round ``r`` every lane whose
+vertex has more than ``r`` edges processes its ``r``-th edge, so a warp's
+edge loop runs for the warp's **maximum** active degree — which is exactly
+how degree imbalance inflates execution (Section III-A3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..sim.address import AddressMap
+from ..sim.config import SystemConfig
+from ..sim.trace import (
+    OP_ACQUIRE,
+    OP_COMPUTE,
+    OP_RELEASE,
+    KernelTrace,
+)
+from .base import DynamicPhase, EdgePhase, VertexPhase
+
+__all__ = ["TraceBuilder"]
+
+_ACQUIRE = (OP_ACQUIRE,)
+_RELEASE = (OP_RELEASE,)
+
+#: Name of the per-vertex state/flag array read for predicate checks.
+STATE_ARRAY = "vstate"
+
+
+class TraceBuilder:
+    """Builds :class:`KernelTrace` objects for one graph + system config."""
+
+    def __init__(self, graph: CSRGraph, config: SystemConfig) -> None:
+        self.graph = graph
+        self.config = config
+        self.amap = AddressMap(config.line_bytes, config.element_bytes)
+        # Touch the in-edge view eagerly so pull realizations are ready.
+        self._in_ready = False
+
+    # ------------------------------------------------------------------
+    def realize(self, phase, direction: str) -> KernelTrace:
+        """Build the trace of one phase in the given direction."""
+        if isinstance(phase, VertexPhase):
+            return self._vertex(phase)
+        if isinstance(phase, DynamicPhase):
+            return self._dynamic(phase)
+        if isinstance(phase, EdgePhase):
+            if direction == "push":
+                return self._edge_push(phase)
+            if direction == "pull":
+                return self._edge_pull(phase)
+            raise ValueError(
+                f"direction must be 'push' or 'pull', got {direction!r}"
+            )
+        raise TypeError(f"unknown phase type {type(phase).__name__}")
+
+    def realize_iteration(self, phases, direction: str) -> list[KernelTrace]:
+        """Realize every phase of one iteration."""
+        return [self.realize(phase, direction) for phase in phases]
+
+    # ------------------------------------------------------------------
+    def _warp_ranges(self):
+        cfg = self.config
+        n = self.graph.num_vertices
+        for tb_start in range(0, n, cfg.tb_size):
+            tb_end = min(tb_start + cfg.tb_size, n)
+            warps = [
+                (w, min(w + cfg.warp_size, tb_end))
+                for w in range(tb_start, tb_end, cfg.warp_size)
+            ]
+            yield warps
+
+    def _load(self, region: str, indices) -> tuple:
+        return (1, tuple(self.amap.lines(region, indices).tolist()))
+
+    def _load_range(self, region: str, start: int, stop: int) -> tuple:
+        return (1, tuple(self.amap.line_range(region, start, stop).tolist()))
+
+    def _store(self, region: str, indices) -> tuple:
+        return (2, tuple(self.amap.lines(region, indices).tolist()))
+
+    def _atomic(self, region: str, indices, needs_value: bool) -> tuple:
+        return (3, tuple(self.amap.line_counts(region, indices)),
+                needs_value)
+
+    # ------------------------------------------------------------------
+    def _edge_push(self, ph: EdgePhase) -> KernelTrace:
+        g = self.graph
+        indptr, indices = g.indptr, g.indices
+        trace = KernelTrace(f"{ph.name}:push")
+        tgt_mask = ph.target_active
+        for warp_ranges in self._warp_ranges():
+            warps = []
+            for w_start, w_end in warp_ranges:
+                ops = [_ACQUIRE,
+                       self._load_range("row_ptr", w_start, w_end + 1)]
+                if ph.source_active is not None:
+                    ops.append(self._load_range(STATE_ARRAY, w_start, w_end))
+                    act = w_start + np.nonzero(
+                        ph.source_active[w_start:w_end]
+                    )[0]
+                else:
+                    act = np.arange(w_start, w_end, dtype=np.int64)
+                if act.size:
+                    offs = indptr[act]
+                    degs = indptr[act + 1] - offs
+                    for arr in ph.source_arrays:
+                        ops.append(self._load(arr, act))
+                    if ph.push_hoisted_compute:
+                        ops.append((OP_COMPUTE, ph.push_hoisted_compute))
+                    max_deg = int(degs.max()) if degs.size else 0
+                    check_tpred = (tgt_mask is not None
+                                   and ph.check_target_pred_in_push)
+                    for r in range(max_deg):
+                        sel = degs > r
+                        epos = offs[sel] + r
+                        targets = indices[epos]
+                        ops.append(self._load("col_idx", epos))
+                        if ph.uses_weights:
+                            ops.append(self._load("weights", epos))
+                        if check_tpred:
+                            ops.append(self._load(STATE_ARRAY, targets))
+                            targets = targets[tgt_mask[targets]]
+                        if targets.size:
+                            for arr in ph.target_arrays:
+                                ops.append(self._load(arr, targets))
+                        ops.append((OP_COMPUTE, ph.compute_per_edge))
+                        if targets.size:
+                            for arr in ph.update_arrays:
+                                ops.append(self._atomic(
+                                    arr, targets, ph.atomic_needs_value,
+                                ))
+                ops.append(_RELEASE)
+                warps.append(ops)
+            trace.add_block(warps)
+        return trace
+
+    def _edge_pull(self, ph: EdgePhase) -> KernelTrace:
+        g = self.graph
+        in_indptr, in_indices = g.in_indptr, g.in_indices
+        trace = KernelTrace(f"{ph.name}:pull")
+        src_mask = ph.source_active
+        for warp_ranges in self._warp_ranges():
+            warps = []
+            for w_start, w_end in warp_ranges:
+                ops = [_ACQUIRE,
+                       self._load_range("in_row_ptr", w_start, w_end + 1)]
+                if ph.target_active is not None:
+                    ops.append(self._load_range(STATE_ARRAY, w_start, w_end))
+                    act = w_start + np.nonzero(
+                        ph.target_active[w_start:w_end]
+                    )[0]
+                else:
+                    act = np.arange(w_start, w_end, dtype=np.int64)
+                if act.size:
+                    offs = in_indptr[act]
+                    degs = in_indptr[act + 1] - offs
+                    for arr in ph.target_arrays:
+                        ops.append(self._load(arr, act))
+                    pull_compute = (ph.compute_per_edge
+                                    + ph.pull_extra_compute_per_edge)
+                    max_deg = int(degs.max()) if degs.size else 0
+                    for r in range(max_deg):
+                        sel = degs > r
+                        epos = offs[sel] + r
+                        sources = in_indices[epos]
+                        ops.append(self._load("in_col_idx", epos))
+                        if ph.uses_weights:
+                            ops.append(self._load("in_weights", epos))
+                        if src_mask is not None:
+                            ops.append(self._load(STATE_ARRAY, sources))
+                            sources = sources[src_mask[sources]]
+                        if sources.size:
+                            # The blocking sparse remote reads of Figure 1.
+                            for arr in ph.source_arrays:
+                                ops.append(self._load(arr, sources))
+                        ops.append((OP_COMPUTE, pull_compute))
+                    # Dense, non-atomic local updates (one per target).
+                    for arr in ph.update_arrays:
+                        ops.append(self._store(arr, act))
+                ops.append(_RELEASE)
+                warps.append(ops)
+            trace.add_block(warps)
+        return trace
+
+    # ------------------------------------------------------------------
+    def _vertex(self, ph: VertexPhase) -> KernelTrace:
+        trace = KernelTrace(f"{ph.name}:vertex")
+        for warp_ranges in self._warp_ranges():
+            warps = []
+            for w_start, w_end in warp_ranges:
+                ops = [_ACQUIRE]
+                if ph.active is not None:
+                    ops.append(self._load_range(STATE_ARRAY, w_start, w_end))
+                    act = w_start + np.nonzero(ph.active[w_start:w_end])[0]
+                else:
+                    act = np.arange(w_start, w_end, dtype=np.int64)
+                if act.size:
+                    for arr in ph.read_arrays:
+                        ops.append(self._load(arr, act))
+                    ops.append((OP_COMPUTE, ph.compute))
+                    for arr in ph.write_arrays:
+                        ops.append(self._store(arr, act))
+                ops.append(_RELEASE)
+                warps.append(ops)
+            trace.add_block(warps)
+        return trace
+
+    # ------------------------------------------------------------------
+    def _dynamic(self, ph: DynamicPhase) -> KernelTrace:
+        trace = KernelTrace(f"{ph.name}:dynamic")
+        offsets = ph.chain_offsets
+        values = ph.chain_values
+        for warp_ranges in self._warp_ranges():
+            warps = []
+            for w_start, w_end in warp_ranges:
+                ops = [_ACQUIRE]
+                if ph.active is not None:
+                    ops.append(self._load_range(STATE_ARRAY, w_start, w_end))
+                    act = w_start + np.nonzero(ph.active[w_start:w_end])[0]
+                else:
+                    act = np.arange(w_start, w_end, dtype=np.int64)
+                if act.size:
+                    chain_off = offsets[act]
+                    chain_len = offsets[act + 1] - chain_off
+                    if ph.col_offsets is not None:
+                        col_off = ph.col_offsets[act]
+                        col_len = ph.col_offsets[act + 1] - col_off
+                    else:
+                        col_len = np.zeros_like(chain_len)
+                    max_len = int(max(chain_len.max(initial=0),
+                                      col_len.max(initial=0)))
+                    for r in range(max_len):
+                        col_sel = col_len > r
+                        if col_sel.any():
+                            epos = ph.col_values[col_off[col_sel] + r]
+                            ops.append(self._load("col_idx", epos))
+                        sel = chain_len > r
+                        if sel.any():
+                            reads = values[chain_off[sel] + r]
+                            ops.append(self._load(ph.array, reads))
+                        ops.append((OP_COMPUTE, ph.compute_per_vertex))
+                    if ph.store_self:
+                        ops.append(self._store(ph.array, act))
+                    if ph.cas_targets is not None:
+                        cas = ph.cas_targets[act]
+                        cas = cas[cas >= 0]
+                        if cas.size:
+                            # CAS results steer control flow: always blocking.
+                            ops.append(self._atomic(
+                                ph.array, cas, needs_value=True
+                            ))
+                ops.append(_RELEASE)
+                warps.append(ops)
+            trace.add_block(warps)
+        return trace

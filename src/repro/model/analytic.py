@@ -1,0 +1,177 @@
+"""A closed-form analytical cost model for the design space.
+
+The decision tree (Figure 4) answers *which* configuration; this module
+estimates *by how much*, from the same taxonomy inputs plus the machine
+description — no simulation.  It composes first-order terms mirroring
+the timing simulator's mechanisms:
+
+* an **issue term** (instructions per edge over the SMs),
+* a **memory-throughput term** (L2 bank and DRAM channel occupancy of
+  the loads and atomics each direction generates, scaled by miss factors
+  derived from the volume and reuse classes),
+* an **atomic term** that moves between the L2 banks (GPU coherence) and
+  the owner L1s (DeNovo, split into local/remote by the reuse score), and
+* an **imbalance tail**: the serialized rounds of the maximum-degree
+  warp, whose per-round cost depends on the consistency model (DRF0
+  round trips + invalidation refills, DRF1 round trips, DRFrlx pipelined
+  issue) for push, and on the dependent-load chain for pull.
+
+Estimates are *relative* — meant for ranking configurations and sizing
+gaps, the same way the paper uses its Figure 5 normalizations.  The
+bench ``bench_analytic_model.py`` reports rank agreement against the
+trace-driven simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..configs import Configuration
+from ..sim.config import DEFAULT_SYSTEM, SystemConfig
+from ..taxonomy.algorithmic import Control, Traversal
+from ..taxonomy.classify import Level
+from ..taxonomy.profile import WorkloadProfile
+
+__all__ = ["AnalyticEstimate", "estimate_cost", "estimate_design_space",
+           "analytic_best"]
+
+#: Fraction of accesses missing the L1, by volume class.
+_L1_MISS = {Level.LOW: 0.30, Level.MEDIUM: 0.65, Level.HIGH: 0.95}
+#: Fraction of L1 misses also missing the L2, by volume class.
+_L2_MISS = {Level.LOW: 0.03, Level.MEDIUM: 0.15, Level.HIGH: 0.60}
+#: Share of the edge work elided by a frontier predicate at the outer
+#: loop (control = source for push / target for pull).
+_ELISION = 0.5
+
+
+@dataclass(frozen=True)
+class AnalyticEstimate:
+    """Per-iteration cost estimate for one configuration (in cycles)."""
+
+    config: Configuration
+    issue: float
+    memory: float
+    atomic: float
+    tail: float
+
+    @property
+    def total(self) -> float:
+        """Max of the throughput terms plus the serial tail.
+
+        Throughput resources overlap with each other; the slowest one
+        bounds the iteration, and the imbalance tail extends it.
+        """
+        return max(self.issue, self.memory, self.atomic) + self.tail
+
+
+def _avg_latency(lo: int, hi: int) -> float:
+    return (lo + hi) / 2.0
+
+
+def estimate_cost(
+    profile: WorkloadProfile,
+    config: Configuration,
+    system: SystemConfig = DEFAULT_SYSTEM,
+) -> AnalyticEstimate:
+    """Estimate one configuration's per-iteration cost for a workload."""
+    graph = profile.graph
+    app = profile.app
+    edges = float(graph.stats.num_edges)
+    reuse = graph.reuse.reuse
+    l1_miss = _L1_MISS[graph.volume_class]
+    l2_miss = _L2_MISS[graph.volume_class]
+    # High thread-block reuse also converts misses into hits.
+    l1_miss *= (1.0 - 0.6 * reuse)
+
+    push = config.direction in ("push", "dynamic")
+    pull_elides = app.control in (Control.TARGET, Control.SYMMETRIC)
+    push_elides = app.control in (Control.SOURCE, Control.SYMMETRIC)
+    if app.traversal is Traversal.DYNAMIC:
+        pull_elides = push_elides = False
+    active_edges = edges
+    if push and push_elides or (not push) and pull_elides:
+        active_edges *= _ELISION
+
+    # --- issue term: a few instructions per edge round, spread over SMs.
+    ops_per_edge = 2.0 if push else 3.0
+    issue = active_edges * ops_per_edge / system.num_sms
+
+    # --- memory-throughput term.
+    loads_per_edge = 1.0 if push else 2.0  # pull adds the sparse prop read
+    load_accesses = (edges if not push else active_edges) * loads_per_edge
+    l2_traffic = load_accesses * l1_miss
+    dram_traffic = l2_traffic * l2_miss
+    memory = (l2_traffic * system.l2_bank_occupancy / system.l2_banks
+              + dram_traffic * system.mem_occupancy / system.mem_channels)
+
+    # --- atomic term (push only; pull updates are plain stores).
+    atomic = 0.0
+    atomics = active_edges if push else 0.0
+    if app.traversal is Traversal.DYNAMIC:
+        atomics = 0.5 * edges  # CAS hooks, shrinking over iterations
+    if atomics:
+        if config.coherence == "gpu":
+            atomic = atomics * system.atomic_occupancy / system.l2_banks
+            # Atomics missing the L2 drag DRAM channels too.
+            atomic += atomics * l2_miss * system.mem_occupancy \
+                / system.mem_channels
+        else:
+            local = atomics * reuse
+            remote = atomics - local
+            atomic = (local * 1.0 / system.num_sms
+                      + remote * (system.l1_atomic_occupancy + 1)
+                      / system.num_sms)
+        if config.consistency == "drf0":
+            # Every atomic drains and invalidates: serialize a round trip.
+            atomic += atomics * _avg_latency(
+                system.l2_latency_min, system.l2_latency_max
+            ) / (system.num_sms * system.warps_per_tb
+                 * system.max_tbs_per_sm)
+
+    # --- imbalance tail: the hub warp's serialized rounds.
+    hub_rounds = float(graph.stats.max_degree)
+    if push:
+        if config.consistency == "drfrlx":
+            per_round = 2.0
+        elif config.consistency == "drf1":
+            per_round = _avg_latency(system.l2_latency_min,
+                                     system.l2_latency_max)
+        else:
+            per_round = _avg_latency(system.l2_latency_min,
+                                     system.l2_latency_max) * 1.5
+        if config.coherence == "denovo" and config.consistency != "drfrlx":
+            # Owned atomics shorten the serialized round trip.
+            per_round *= (1.0 - 0.8 * reuse)
+    else:
+        # Pull rounds chain through the accumulator: at least the L1 hit,
+        # a miss's latency when the working set spills.
+        per_round = 2.0 + l1_miss * _avg_latency(system.l2_latency_min,
+                                                 system.l2_latency_max)
+    tail = hub_rounds * per_round
+
+    return AnalyticEstimate(
+        config=config, issue=issue, memory=memory, atomic=atomic, tail=tail,
+    )
+
+
+def estimate_design_space(
+    profile: WorkloadProfile,
+    configs: list[Configuration],
+    system: SystemConfig = DEFAULT_SYSTEM,
+) -> dict[str, AnalyticEstimate]:
+    """Estimate every configuration in a list."""
+    return {
+        config.code: estimate_cost(profile, config, system)
+        for config in configs
+    }
+
+
+def analytic_best(
+    profile: WorkloadProfile,
+    configs: list[Configuration],
+    system: SystemConfig = DEFAULT_SYSTEM,
+) -> Configuration:
+    """The cheapest configuration under the analytical model."""
+    estimates = estimate_design_space(profile, configs, system)
+    best_code = min(estimates, key=lambda code: estimates[code].total)
+    return next(c for c in configs if c.code == best_code)

@@ -1,0 +1,81 @@
+"""Partial-design-space specialization (Section IV-B).
+
+When the target system does not support DRFrlx, the consistency dimension
+collapses (DRF1 is the ceiling) and only the push-vs-pull choice needs
+rethinking — coherence is decided independently, exactly as in the full
+model.
+
+The paper's reading, which we implement:
+
+* Control prefers source -> push (unchanged).
+* Otherwise, if *information* prefers source, keep the full model's
+  secondary push test, with medium volume now sufficient (the hoisted
+  loads still pay off even at medium volume).
+* Otherwise (information does not prefer source), the requirements
+  stiffen in two ways.  Imbalance no longer argues for push at all: the
+  full model counted on DRFrlx's atomic MLP to turn imbalance into a push
+  advantage (Section IV-A1), and without relaxation the serialized
+  atomics of hub warps are worse than pull's loads — this is exactly the
+  paper's MIS+RAJ example, where the partial model must flip to TG0.
+  And medium volume is not sufficient; push needs medium/low reuse or
+  strictly high volume.
+
+The text is ambiguous about which branch "medium volume is no longer
+sufficient" tightens; DESIGN.md records the interpretation above.
+"""
+
+from __future__ import annotations
+
+from ..configs import Configuration
+from ..taxonomy.algorithmic import Control, Information, Traversal
+from ..taxonomy.classify import Level
+from ..taxonomy.profile import WorkloadProfile
+from .decision_tree import _push_coherence
+
+__all__ = ["predict_partial_configuration"]
+
+
+def _push_test(
+    volume: Level,
+    reuse: Level,
+    imbalance: Level,
+    medium_volume_ok: bool,
+    imbalance_counts: bool,
+) -> bool:
+    if reuse in (Level.MEDIUM, Level.LOW):
+        return True
+    if imbalance_counts and imbalance in (Level.HIGH, Level.MEDIUM):
+        return True
+    if volume is Level.HIGH:
+        return True
+    return medium_volume_ok and volume is Level.MEDIUM
+
+
+def predict_partial_configuration(
+    profile: WorkloadProfile,
+) -> Configuration:
+    """Best configuration when DRFrlx is unavailable (DRF1 ceiling)."""
+    app = profile.app
+    graph = profile.graph
+    if app.traversal is Traversal.DYNAMIC:
+        return Configuration("dynamic", "denovo", "drf1")
+
+    if app.control is Control.SOURCE:
+        push = True
+    elif app.information is Information.SOURCE:
+        push = _push_test(
+            graph.volume_class, graph.reuse_class, graph.imbalance_class,
+            medium_volume_ok=True, imbalance_counts=True,
+        )
+    else:
+        push = _push_test(
+            graph.volume_class, graph.reuse_class, graph.imbalance_class,
+            medium_volume_ok=False, imbalance_counts=False,
+        )
+    if not push:
+        return Configuration("pull", "gpu", "drf0")
+    return Configuration(
+        "push",
+        _push_coherence(graph.volume_class, graph.reuse_class),
+        "drf1",
+    )

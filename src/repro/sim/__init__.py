@@ -1,0 +1,60 @@
+"""Timing simulator: system config, caches, coherence, consistency, engine."""
+
+from .address import AddressMap
+from .cache import OWNED, VALID, SetAssocCache
+from .coherence import (
+    DeNovoCoherence,
+    GPUCoherence,
+    MemoryStats,
+    MemorySystem,
+    make_memory_system,
+)
+from .config import DEFAULT_SYSTEM, SystemConfig, scaled_system
+from .consistency import DRF0, DRF1, DRFRLX, ConsistencyModel, get_model
+from .engine import ExecutionResult, GPUSimulator, simulate
+from .stalls import CATEGORIES, StallBreakdown
+from .trace import (
+    KernelTrace,
+    acquire,
+    atomic,
+    barrier,
+    compute,
+    load,
+    op_count,
+    release,
+    store,
+)
+
+__all__ = [
+    "SystemConfig",
+    "DEFAULT_SYSTEM",
+    "scaled_system",
+    "AddressMap",
+    "SetAssocCache",
+    "VALID",
+    "OWNED",
+    "MemorySystem",
+    "MemoryStats",
+    "GPUCoherence",
+    "DeNovoCoherence",
+    "make_memory_system",
+    "ConsistencyModel",
+    "DRF0",
+    "DRF1",
+    "DRFRLX",
+    "get_model",
+    "GPUSimulator",
+    "ExecutionResult",
+    "simulate",
+    "StallBreakdown",
+    "CATEGORIES",
+    "KernelTrace",
+    "compute",
+    "load",
+    "store",
+    "atomic",
+    "acquire",
+    "release",
+    "barrier",
+    "op_count",
+]

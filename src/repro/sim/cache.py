@@ -1,0 +1,138 @@
+"""Set-associative LRU cache model with DeNovo ownership state.
+
+Lines carry one of two states: ``VALID`` (a self-invalidatable copy) or
+``OWNED`` (a DeNovo-registered line that survives acquires and is never
+flushed).  GPU coherence only ever installs ``VALID`` lines; DeNovo
+installs ``OWNED`` for written/atomic data.
+
+Self-invalidation is **epoch-based** so that the per-atomic invalidations
+of DRF0 cost O(1): every entry records the epoch it was installed in, and
+``invalidate_valid_epoch``/``invalidate_all_epoch`` simply bump the
+cache's epoch.  VALID entries from older epochs count as misses (and are
+dropped when touched); OWNED entries are immune to the VALID epoch.
+
+Each set is a Python dict used as an LRU (insertion order; touching a
+line deletes and reinserts it), which profiles well at the op rates the
+engine produces.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VALID", "OWNED", "SetAssocCache"]
+
+VALID = 1
+OWNED = 2
+
+
+class SetAssocCache:
+    """A set-associative, LRU-replacement cache keyed by line id."""
+
+    def __init__(self, num_lines: int, assoc: int) -> None:
+        if num_lines <= 0 or assoc <= 0:
+            raise ValueError("num_lines and assoc must be positive")
+        if num_lines % assoc != 0:
+            num_lines = max(assoc, (num_lines // assoc) * assoc)
+        self.assoc = assoc
+        self.num_sets = max(1, num_lines // assoc)
+        self.num_lines = self.num_sets * assoc
+        # entry: line -> (state, valid_epoch, owned_epoch)
+        self._sets: list[dict[int, tuple[int, int]]] = [
+            dict() for _ in range(self.num_sets)
+        ]
+        self._valid_epoch = 0
+        self._all_epoch = 0
+
+    def _set_of(self, line: int) -> dict[int, tuple[int, int]]:
+        return self._sets[line % self.num_sets]
+
+    def _live_state(self, entry: tuple[int, int]) -> int | None:
+        state, epoch = entry
+        if epoch < self._all_epoch:
+            return None
+        if state == VALID and epoch < self._valid_epoch:
+            return None
+        return state
+
+    def lookup(self, line: int) -> int | None:
+        """Return the line's live state (touching LRU) or None on miss."""
+        cache_set = self._set_of(line)
+        entry = cache_set.get(line)
+        if entry is None:
+            return None
+        state = self._live_state(entry)
+        del cache_set[line]
+        if state is None:
+            return None
+        cache_set[line] = entry
+        return state
+
+    def peek(self, line: int) -> int | None:
+        """Return the line's live state without touching LRU order."""
+        entry = self._set_of(line).get(line)
+        if entry is None:
+            return None
+        return self._live_state(entry)
+
+    def install(self, line: int, state: int) -> tuple[int, int] | None:
+        """Insert/overwrite a line; return an evicted live (line, state)."""
+        if state not in (VALID, OWNED):
+            raise ValueError("state must be VALID or OWNED")
+        cache_set = self._set_of(line)
+        epoch = max(self._valid_epoch, self._all_epoch)
+        if line in cache_set:
+            del cache_set[line]
+            cache_set[line] = (state, epoch)
+            return None
+        evicted = None
+        if len(cache_set) >= self.assoc:
+            # Prefer evicting a stale (epoch-invalidated) entry.
+            victim = None
+            for cand, entry in cache_set.items():
+                if self._live_state(entry) is None:
+                    victim = cand
+                    break
+            if victim is None:
+                victim = next(iter(cache_set))
+                v_state = self._live_state(cache_set[victim])
+                if v_state is not None:
+                    evicted = (victim, v_state)
+            del cache_set[victim]
+        cache_set[line] = (state, epoch)
+        return evicted
+
+    def invalidate(self, line: int) -> None:
+        """Drop one line if present."""
+        self._set_of(line).pop(line, None)
+
+    def invalidate_valid(self) -> None:
+        """Self-invalidate every VALID line (DeNovo acquire); keep OWNED."""
+        self._valid_epoch = max(self._valid_epoch, self._all_epoch) + 1
+
+    def invalidate_all(self) -> None:
+        """Self-invalidate the whole cache (GPU-coherence acquire)."""
+        self._all_epoch = max(self._valid_epoch, self._all_epoch) + 1
+        self._valid_epoch = self._all_epoch
+
+    def owned_lines(self) -> list[int]:
+        """All lines currently live in OWNED state."""
+        return [
+            line
+            for cache_set in self._sets
+            for line, entry in cache_set.items()
+            if self._live_state(entry) == OWNED
+        ]
+
+    def live_lines(self) -> int:
+        """Count of live (non-stale) lines; O(capacity), for tests."""
+        return sum(
+            1
+            for cache_set in self._sets
+            for entry in cache_set.values()
+            if self._live_state(entry) is not None
+        )
+
+    def __len__(self) -> int:
+        return self.live_lines()
+
+    def __contains__(self, line: int) -> bool:
+        return self.peek(line) is not None

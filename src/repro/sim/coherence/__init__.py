@@ -1,0 +1,22 @@
+"""Coherence protocols: GPU coherence and DeNovo."""
+
+from .base import MemoryStats, MemorySystem
+from .denovo import DeNovoCoherence
+from .gpu import GPUCoherence
+
+__all__ = [
+    "MemorySystem",
+    "MemoryStats",
+    "GPUCoherence",
+    "DeNovoCoherence",
+    "make_memory_system",
+]
+
+
+def make_memory_system(protocol: str, config) -> MemorySystem:
+    """Instantiate a protocol by name: ``gpu`` or ``denovo``."""
+    if protocol == "gpu":
+        return GPUCoherence(config)
+    if protocol == "denovo":
+        return DeNovoCoherence(config)
+    raise ValueError(f"unknown coherence protocol {protocol!r}")

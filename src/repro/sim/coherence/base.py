@@ -1,0 +1,177 @@
+"""Memory-system base: shared structure for both coherence protocols.
+
+The memory system owns the per-SM L1s, the shared banked L2, the MSHR and
+store-buffer resource models, the per-line atomic sequencers, and the
+DeNovo ownership directory.  Protocol subclasses implement the latency
+policy for loads, stores, atomics, and acquires.
+
+Resource modeling: MSHRs and store-buffer entries are FIFO-recycled rings
+of free-at times — reserving a slot that is still busy pushes the request
+out to the slot's free time.  Per-line sequencers serialize atomic
+operations to the same address, wherever they execute (L2 bank for GPU
+coherence, owning L1 for DeNovo).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cache import OWNED, VALID, SetAssocCache
+from ..config import SystemConfig
+
+__all__ = ["MemoryStats", "MemorySystem"]
+
+
+@dataclass
+class MemoryStats:
+    """Event counters exposed for tests and analyses."""
+
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    stores: int = 0
+    atomics: int = 0
+    atomics_local: int = 0
+    atomics_remote_transfer: int = 0
+    ownership_registrations: int = 0
+    acquires: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class _Ring:
+    """FIFO-recycled pool of ``n`` resource slots holding free-at times."""
+
+    __slots__ = ("free_at", "idx", "n")
+
+    def __init__(self, n: int) -> None:
+        self.free_at = [0.0] * n
+        self.idx = 0
+        self.n = n
+
+    def reserve(self, now: float, hold: float) -> float:
+        """Claim the next slot; return the (possibly delayed) start time."""
+        i = self.idx
+        self.idx = (i + 1) % self.n
+        start = self.free_at[i]
+        if start < now:
+            start = now
+        self.free_at[i] = start + hold
+        return start
+
+
+class MemorySystem:
+    """Shared skeleton of the two coherence protocols."""
+
+    name = "base"
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.stats = MemoryStats()
+        self.l1s = [
+            SetAssocCache(config.l1_lines, config.l1_assoc)
+            for _ in range(config.num_sms)
+        ]
+        self.l2 = SetAssocCache(config.l2_lines, config.l2_assoc)
+        self.owner: dict[int, int] = {}
+        self.sequencer: dict[int, float] = {}
+        self._mshrs = [_Ring(config.l1_mshrs) for _ in range(config.num_sms)]
+        self._store_buffers = [
+            _Ring(config.store_buffer_entries) for _ in range(config.num_sms)
+        ]
+        self._l2_bank_free = [0.0] * config.l2_banks
+        self._mem_channel_free = [0.0] * config.mem_channels
+        # Per-SM L1 atomic unit (DeNovo executes atomics at the owner L1,
+        # which is a throughput-limited resource just like an L2 bank).
+        self._l1_atomic_free = [0.0] * config.num_sms
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _l2_service(
+        self, sm: int, line: int, now: float, hold: float
+    ) -> float:
+        """Service an access at the line's home L2 bank.
+
+        Models both latency (NUCA distance, memory fill) and throughput
+        (bank occupancy, DRAM channel occupancy).  Returns the time the
+        response reaches the requesting core.
+        """
+        cfg = self.config
+        bank = line % cfg.l2_banks
+        start = self._l2_bank_free[bank]
+        if start < now:
+            start = now
+        self._l2_bank_free[bank] = start + hold
+        if self.l2.lookup(line) is not None:
+            self.stats.l2_hits += 1
+            return start + hold + cfg.l2_latency(sm, line)
+        self.stats.l2_misses += 1
+        self.l2.install(line, VALID)
+        channel = line % cfg.mem_channels
+        mem_start = self._mem_channel_free[channel]
+        issue = start + hold
+        if mem_start < issue:
+            mem_start = issue
+        self._mem_channel_free[channel] = mem_start + cfg.mem_occupancy
+        return (mem_start + cfg.mem_occupancy
+                + cfg.mem_latency(sm, line) + cfg.l2_latency(sm, line))
+
+    def _install_l1(
+        self, sm: int, line: int, state: int, now: float = 0.0
+    ) -> None:
+        evicted = self.l1s[sm].install(line, state)
+        if evicted is not None and evicted[1] == OWNED:
+            # Writing back an owned line returns registration to the L2:
+            # the victim's data and directory update occupy its home bank.
+            # This is the churn that makes ownership unprofitable when the
+            # working set thrashes the L1 (Section IV-A2's high-volume
+            # argument against DeNovo).
+            victim = evicted[0]
+            self.owner.pop(victim, None)
+            bank = victim % self.config.l2_banks
+            start = self._l2_bank_free[bank]
+            if start < now:
+                start = now
+            self._l2_bank_free[bank] = start + self.config.l2_bank_occupancy
+            self.stats.extra["owned_writebacks"] = (
+                self.stats.extra.get("owned_writebacks", 0) + 1
+            )
+
+    def _serialize(self, line: int, earliest: float, hold: float) -> float:
+        """Queue on the line's atomic sequencer; return operation start."""
+        start = self.sequencer.get(line, 0.0)
+        if start < earliest:
+            start = earliest
+        self.sequencer[line] = start + hold
+        return start
+
+    # ------------------------------------------------------------------
+    # Protocol interface (subclasses implement)
+    # ------------------------------------------------------------------
+    def load(self, sm: int, lines: tuple, now: float) -> float:
+        """Blocking coalesced load; returns data-arrival time."""
+        raise NotImplementedError
+
+    def store(self, sm: int, lines: tuple, now: float) -> tuple[float, float]:
+        """Non-blocking store; returns (warp-accept time, global-drain time)."""
+        raise NotImplementedError
+
+    def atomic(
+        self, sm: int, line: int, count: int, now: float,
+        issue: float | None = None,
+    ) -> float:
+        """Atomic RMWs to one line; returns result-return time.
+
+        ``now`` is the earliest the operation may logically execute (the
+        consistency model's program-order floor); ``issue`` is when the
+        warp issued the instruction.  Shared-resource contention (banks,
+        DRAM channels, atomic units) is booked at ``issue`` so that a
+        warp ordered far into the future does not reserve hardware ahead
+        of requests that arrive earlier in global time.
+        """
+        raise NotImplementedError
+
+    def acquire(self, sm: int) -> int:
+        """Apply acquire-side invalidation; return its pipeline cost."""
+        raise NotImplementedError

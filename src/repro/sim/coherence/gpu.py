@@ -1,0 +1,92 @@
+"""Conventional GPU coherence (Section II-B).
+
+* Loads fill VALID lines into the L1.
+* Stores are write-through, no-allocate: they occupy a store buffer entry
+  until acknowledged by the L2.
+* All atomics execute at the home L2 bank (bypassing the L1), serialize
+  per line, and occupy the bank's atomic unit — so every pushed update is
+  L2 traffic, which is exactly why L2-side atomics throttle push kernels
+  on high-reuse inputs.
+* Acquires self-invalidate the entire L1; releases drain the store buffer
+  (tracked by the engine via store drain times).
+"""
+
+from __future__ import annotations
+
+from ..cache import VALID
+from .base import MemorySystem
+
+__all__ = ["GPUCoherence"]
+
+
+class GPUCoherence(MemorySystem):
+    """Write-through GPU coherence with L2-side atomics."""
+
+    name = "gpu"
+
+    def load(self, sm: int, lines: tuple, now: float) -> float:
+        l1 = self.l1s[sm]
+        cfg = self.config
+        stats = self.stats
+        mshrs = self._mshrs[sm]
+        worst = now + cfg.l1_hit_latency
+        for line in lines:
+            if l1.lookup(line) is not None:
+                stats.l1_hits += 1
+                continue
+            stats.l1_misses += 1
+            start = mshrs.reserve(now, cfg.l2_latency_min)
+            done = self._l2_service(
+                sm, line, start, cfg.l2_bank_occupancy
+            ) + cfg.l1_hit_latency
+            self._install_l1(sm, line, VALID)
+            if done > worst:
+                worst = done
+        return worst
+
+    def store(self, sm: int, lines: tuple, now: float) -> tuple[float, float]:
+        cfg = self.config
+        buffers = self._store_buffers[sm]
+        accept = now
+        drain = now
+        for line in lines:
+            self.stats.stores += 1
+            start = buffers.reserve(
+                now, cfg.l2_latency_min + cfg.l2_bank_occupancy
+            )
+            if start > accept:
+                accept = start
+            done = self._l2_service(sm, line, start, cfg.l2_bank_occupancy)
+            if done > drain:
+                drain = done
+        return accept, drain
+
+    def atomic(
+        self, sm: int, line: int, count: int, now: float,
+        issue: float | None = None,
+    ) -> float:
+        cfg = self.config
+        if issue is None:
+            issue = now
+        self.stats.atomics += count
+        hold = count * cfg.atomic_occupancy
+        # Bank occupancy and a possible memory fill are booked at issue
+        # time (requests travel immediately; same-line fills coalesce in
+        # the L2 MSHRs).  The RMW itself waits for the program-order
+        # floor and for prior RMWs to the same line.
+        latency = cfg.l2_latency(sm, line)
+        service_ready = self._l2_service(sm, line, issue, hold)
+        # When the bank's RMW slot begins (fills overlap approximately).
+        start = service_ready - latency - hold
+        seq = self.sequencer.get(line, 0.0)
+        if seq > start:
+            start = seq
+        if now > start:
+            start = now
+        self.sequencer[line] = start + hold
+        return start + hold + latency
+
+    def acquire(self, sm: int) -> int:
+        self.stats.acquires += 1
+        self.l1s[sm].invalidate_all()
+        return self.config.l1_hit_latency

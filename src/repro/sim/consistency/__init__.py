@@ -1,0 +1,5 @@
+"""Consistency models: DRF0, DRF1, DRFrlx."""
+
+from .models import DRF0, DRF1, DRFRLX, ConsistencyModel, get_model
+
+__all__ = ["ConsistencyModel", "DRF0", "DRF1", "DRFRLX", "get_model"]

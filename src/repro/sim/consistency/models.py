@@ -1,0 +1,56 @@
+"""The data-race-free consistency model family (Section II-C).
+
+* **DRF0** — every atomic is a paired synchronization: the warp drains its
+  outstanding accesses, the L1 self-invalidates / dirty data flushes
+  (per the coherence protocol), and the atomic blocks the warp.
+* **DRF1** — atomics used as *unpaired* synchronization skip the
+  invalidate/flush and may overlap data accesses, but stay program-ordered
+  among themselves: one outstanding atomic per warp.
+* **DRFrlx** — *relaxed* atomics may also overlap each other, exposing
+  intra-thread MLP: a warp may keep a window of outstanding atomics
+  (bounded by the system's relaxed-atomic window / MSHR capacity).
+
+Atomics whose return value feeds control flow block the issuing warp under
+every model (the value is simply needed), which is what limits relaxation
+benefits for dynamic-traversal workloads (Section IV-A4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ConsistencyModel", "DRF0", "DRF1", "DRFRLX", "get_model"]
+
+
+@dataclass(frozen=True)
+class ConsistencyModel:
+    """Ordering rules the engine enforces per warp."""
+
+    name: str
+    #: Every atomic acts as an acquire+release pair (DRF0).
+    atomics_paired: bool
+    #: Max outstanding atomics per warp; 0 means "use the system's
+    #: relaxed-atomic window" (DRFrlx).
+    atomic_window: int
+
+    def window(self, config) -> int:
+        """Resolve the effective outstanding-atomic window."""
+        if self.atomic_window:
+            return self.atomic_window
+        return min(config.relaxed_atomic_window, config.l1_mshrs)
+
+
+DRF0 = ConsistencyModel("DRF0", atomics_paired=True, atomic_window=1)
+DRF1 = ConsistencyModel("DRF1", atomics_paired=False, atomic_window=1)
+DRFRLX = ConsistencyModel("DRFrlx", atomics_paired=False, atomic_window=0)
+
+_MODELS = {"drf0": DRF0, "drf1": DRF1, "drfrlx": DRFRLX,
+           "0": DRF0, "1": DRF1, "r": DRFRLX}
+
+
+def get_model(name: str) -> ConsistencyModel:
+    """Look up a model by name ('drf0'/'drf1'/'drfrlx' or '0'/'1'/'R')."""
+    try:
+        return _MODELS[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown consistency model {name!r}") from None

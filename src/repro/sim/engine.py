@@ -1,0 +1,385 @@
+"""Event-driven, warp-granular GPU timing engine.
+
+The engine executes :class:`~repro.sim.trace.KernelTrace` sequences
+against a coherence protocol (memory system) and a consistency model.
+Thread blocks are dispatched to SMs greedily in wave order (bounded by
+``max_tbs_per_sm``); each SM issues at most one warp op per cycle; warps
+block on loads, on atomics per the consistency model, and at barriers and
+kernel-boundary synchronization.
+
+Stall accounting follows the paper's five-way classification: every issue
+slot is Busy; whenever an SM has no ready warp, the gap is attributed to
+the blocking reason of the warp whose readiness ends the gap (Comp, Data,
+or Sync); per-SM tail time until the kernel's slowest SM finishes is
+Idle.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .coherence import MemorySystem, make_memory_system
+from .config import SystemConfig
+from .consistency import ConsistencyModel, get_model
+from .stalls import StallBreakdown
+from .trace import (
+    OP_ACQUIRE,
+    OP_ATOMIC,
+    OP_BARRIER,
+    OP_COMPUTE,
+    OP_LOAD,
+    OP_RELEASE,
+    OP_STORE,
+    KernelTrace,
+)
+
+__all__ = ["ExecutionResult", "GPUSimulator", "simulate"]
+
+
+@dataclass
+class ExecutionResult:
+    """Timing outcome of one workload run."""
+
+    cycles: float
+    breakdown: StallBreakdown
+    kernel_cycles: list = field(default_factory=list)
+    memory_stats: object = None
+
+    @property
+    def time_ms(self) -> float:
+        """Wall-clock milliseconds at the paper's 700 MHz GPU clock."""
+        return self.cycles / 700e3  # 700 MHz -> cycles per ms
+
+
+class _Warp:
+    __slots__ = ("ops", "pc", "sm", "tb", "reason", "store_drain",
+                 "atomics")
+
+    def __init__(self, ops: list, sm: int, tb: "_TB") -> None:
+        self.ops = ops
+        self.pc = 0
+        self.sm = sm
+        self.tb = tb
+        self.reason = "data"
+        self.store_drain = 0.0
+        self.atomics: deque = deque()
+
+
+class _TB:
+    __slots__ = ("warps_left", "barrier_parked", "barrier_count", "size")
+
+    def __init__(self, size: int) -> None:
+        self.warps_left = size
+        self.size = size
+        self.barrier_parked: list = []
+        self.barrier_count = 0
+
+
+class GPUSimulator:
+    """Simulates kernel traces on one coherence + consistency configuration.
+
+    Memory-system state (caches, ownership) persists across the kernels of
+    a single :meth:`run`, mirroring back-to-back kernel launches over the
+    same data.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        coherence: str = "gpu",
+        consistency: str | ConsistencyModel = "drf0",
+    ) -> None:
+        self.config = config
+        self.memory: MemorySystem = make_memory_system(coherence, config)
+        if isinstance(consistency, str):
+            consistency = get_model(consistency)
+        self.consistency = consistency
+        self._window = consistency.window(config)
+        self._accumulated = StallBreakdown()
+        self._kernel_cycles: list[float] = []
+        self._clock = 0.0
+
+    # ------------------------------------------------------------------
+    def feed(self, kernel: KernelTrace) -> float:
+        """Execute one kernel, accumulating into this simulator's totals.
+
+        Lets a harness stream kernels to several simulators without
+        holding more than one kernel trace in memory; returns the kernel's
+        duration in cycles.  Kernels run on a single global clock so the
+        memory system's resource timelines (banks, channels, sequencers)
+        stay aligned across launches.
+        """
+        if self._kernel_cycles:
+            self._clock += self.config.kernel_launch_cycles
+        end = self._run_kernel(kernel, self._accumulated, self._clock)
+        duration = end - self._clock
+        self._clock = end
+        self._kernel_cycles.append(duration)
+        return duration
+
+    def result(self) -> ExecutionResult:
+        """Snapshot of everything fed so far."""
+        launch = self.config.kernel_launch_cycles
+        cycles = sum(self._kernel_cycles)
+        if self._kernel_cycles:
+            cycles += launch * (len(self._kernel_cycles) - 1)
+        return ExecutionResult(
+            cycles=cycles,
+            breakdown=self._accumulated,
+            kernel_cycles=list(self._kernel_cycles),
+            memory_stats=self.memory.stats,
+        )
+
+    def run(self, kernels: Iterable[KernelTrace]) -> ExecutionResult:
+        """Execute the kernel sequence; return timing and stall breakdown."""
+        for kernel in kernels:
+            self.feed(kernel)
+        return self.result()
+
+    # ------------------------------------------------------------------
+    def _run_kernel(
+        self, kernel: KernelTrace, stats: StallBreakdown, start: float = 0.0
+    ) -> float:
+        cfg = self.config
+        num_sms = cfg.num_sms
+        if not kernel.blocks:
+            return start
+
+        pending = deque(range(len(kernel.blocks)))
+        resident = [0] * num_sms
+        cursors = [start] * num_sms
+        sm_end = [start] * num_sms
+        tail_reason = ["data"] * num_sms
+        busy = [0.0] * num_sms
+        gaps = [dict(comp=0.0, data=0.0, sync=0.0) for _ in range(num_sms)]
+
+        heap: list = []
+        counter = 0
+
+        def activate(sm: int, tb_index: int, at: float) -> None:
+            nonlocal counter
+            warp_ops = kernel.blocks[tb_index]
+            tb = _TB(len(warp_ops))
+            resident[sm] += 1
+            if not warp_ops:
+                resident[sm] -= 1
+                return
+            for ops in warp_ops:
+                warp = _Warp(ops, sm, tb)
+                counter += 1
+                heapq.heappush(heap, (at, counter, warp))
+
+        # Initial wave: breadth-first over SMs (one TB per SM per round) so
+        # the residency bound is reached evenly, as a hardware TB scheduler
+        # would.
+        for _ in range(cfg.max_tbs_per_sm):
+            if not pending:
+                break
+            for sm in range(num_sms):
+                if not pending:
+                    break
+                if resident[sm] < cfg.max_tbs_per_sm:
+                    activate(sm, pending.popleft(), start)
+
+        exec_op = self._execute_op
+        while heap:
+            ready, _, warp = heapq.heappop(heap)
+            sm = warp.sm
+            cur = cursors[sm]
+            if ready > cur:
+                gaps[sm][warp.reason] += ready - cur
+                cur = ready
+            # Issue slot.
+            busy[sm] += 1
+            now = cur + 1
+            cursors[sm] = now
+
+            done_time, reason = exec_op(warp, warp.ops[warp.pc], now, sm)
+            warp.pc += 1
+            if warp.pc < len(warp.ops):
+                if reason == "barrier":
+                    tb = warp.tb
+                    tb.barrier_count += 1
+                    tb.barrier_parked.append((done_time, warp))
+                    if tb.barrier_count == tb.size:
+                        release_at = max(t for t, _ in tb.barrier_parked)
+                        for _, parked in tb.barrier_parked:
+                            parked.reason = "sync"
+                            counter += 1
+                            heapq.heappush(heap, (release_at, counter, parked))
+                        tb.barrier_parked.clear()
+                        tb.barrier_count = 0
+                else:
+                    warp.reason = reason
+                    counter += 1
+                    heapq.heappush(heap, (done_time, counter, warp))
+            else:
+                if done_time > sm_end[sm]:
+                    sm_end[sm] = done_time
+                    tail_reason[sm] = reason
+                tb = warp.tb
+                tb.warps_left -= 1
+                if tb.warps_left == 0:
+                    resident[sm] -= 1
+                    if pending:
+                        activate(sm, pending.popleft(), done_time)
+
+        finish = max(max(sm_end), max(cursors))
+        for sm in range(num_sms):
+            # The drain from the last issue slot to the last completion is
+            # attributed to whatever the final warp was waiting on.
+            if sm_end[sm] > cursors[sm]:
+                gaps[sm][tail_reason[sm]] += sm_end[sm] - cursors[sm]
+            stats.busy += busy[sm]
+            stats.comp += gaps[sm]["comp"]
+            stats.data += gaps[sm]["data"]
+            stats.sync += gaps[sm]["sync"]
+            end = max(sm_end[sm], cursors[sm])
+            stats.idle += finish - end
+        return finish
+
+    # ------------------------------------------------------------------
+    def _execute_op(
+        self, warp: _Warp, op: tuple, now: float, sm: int
+    ) -> tuple[float, str]:
+        code = op[0]
+        memory = self.memory
+
+        if code == OP_LOAD:
+            return memory.load(sm, op[1], now), "data"
+
+        if code == OP_ATOMIC:
+            return self._execute_atomic(warp, op, now, sm)
+
+        if code == OP_COMPUTE:
+            return now + op[1] - 1, "comp"
+
+        if code == OP_STORE:
+            accept, drain = memory.store(sm, op[1], now)
+            if drain > warp.store_drain:
+                warp.store_drain = drain
+            return accept, "data"
+
+        if code == OP_ACQUIRE:
+            cost = memory.acquire(sm)
+            return now + cost, "sync"
+
+        if code == OP_RELEASE:
+            done = max(now, warp.store_drain)
+            if warp.atomics:
+                tail = max(warp.atomics)
+                if tail > done:
+                    done = tail
+                warp.atomics.clear()
+            warp.store_drain = 0.0
+            return done, "sync"
+
+        if code == OP_BARRIER:
+            return now, "barrier"
+
+        raise ValueError(f"unknown opcode {code!r}")
+
+    def _execute_atomic(
+        self, warp: _Warp, op: tuple, now: float, sm: int
+    ) -> tuple[float, str]:
+        pairs, needs_value = op[1], op[2]
+        memory = self.memory
+        model = self.consistency
+
+        # One OP_ATOMIC is one warp-level atomic instruction: its pairs
+        # belong to *different lanes* (threads), so they always issue
+        # concurrently.  Ordering constraints apply between successive
+        # atomic instructions of the same thread, which warp lockstep
+        # turns into inter-round constraints.
+
+        if model.atomics_paired:
+            # DRF0: every atomic is paired sync — drain outstanding
+            # accesses, self-invalidate/flush, and block until the round's
+            # atomics complete.
+            start = max(now, warp.store_drain)
+            if warp.atomics:
+                tail = max(warp.atomics)
+                if tail > start:
+                    start = tail
+                warp.atomics.clear()
+            start += memory.acquire(sm)
+            warp.store_drain = 0.0
+            done = start
+            lanes = 0
+            for line, count in pairs:
+                lanes += count
+                completion = memory.atomic(sm, line, count, start,
+                                           issue=now)
+                if completion > done:
+                    done = completion
+            if not needs_value and lanes > 1:
+                # Paired atomics drain one lane at a time through the
+                # warp's single outstanding-synchronization slot.
+                done += (lanes - 1) * 2 * self.config.atomic_occupancy
+            return done, "sync"
+
+        if self._window == 1:
+            # DRF1: unpaired atomics stay program-ordered per thread, so a
+            # new round may only issue after the previous round completed
+            # — but the warp itself continues past the issue point.
+            t = now
+            if warp.atomics:
+                tail = max(warp.atomics)
+                if tail > t:
+                    t = tail
+                warp.atomics.clear()
+            last_completion = t
+            lanes = 0
+            for line, count in pairs:
+                lanes += count
+                completion = memory.atomic(sm, line, count, t, issue=now)
+                if completion > last_completion:
+                    last_completion = completion
+            if not needs_value and lanes > 1:
+                # One outstanding unpaired atomic per thread, and the
+                # warp's lanes share a single request slot: the lanes
+                # retire serially, which is exactly the intra-thread MLP
+                # that DRFrlx recovers (Section II-C).
+                last_completion += (lanes - 1) * 2 * self.config.atomic_occupancy
+            warp.atomics.append(last_completion)
+            if needs_value:
+                return last_completion, "sync"
+            return t, "sync"
+
+        # DRFrlx: relaxed atomics overlap freely within the MLP window.
+        window = self._window
+        outstanding = warp.atomics
+        t = now
+        last_completion = now
+        for line, count in pairs:
+            while outstanding and outstanding[0] <= t:
+                outstanding.popleft()
+            if len(outstanding) >= window:
+                t = outstanding.popleft()
+            completion = memory.atomic(sm, line, count, t, issue=now)
+            if completion > last_completion:
+                last_completion = completion
+            # Keep the deque sorted by completion; completions are usually
+            # monotone, so this is an O(1) append in the common case.
+            if outstanding and completion < outstanding[-1]:
+                items = sorted([*outstanding, completion])
+                outstanding.clear()
+                outstanding.extend(items)
+            else:
+                outstanding.append(completion)
+        if needs_value:
+            return last_completion, "sync"
+        return max(t, now), "sync"
+
+
+def simulate(
+    kernels: Iterable[KernelTrace],
+    config: SystemConfig,
+    coherence: str,
+    consistency: str | ConsistencyModel,
+) -> ExecutionResult:
+    """One-shot convenience wrapper around :class:`GPUSimulator`."""
+    return GPUSimulator(config, coherence, consistency).run(kernels)

@@ -1,0 +1,63 @@
+"""Execution-time stall classification (Section V-C, after Alsop et al. GSI).
+
+* **Busy** — cycles where at least one instruction issued.
+* **Comp** — waiting for a computation unit or result.
+* **Data** — waiting for non-atomic memory (loads, store-buffer pressure).
+* **Sync** — waiting for atomics, flushes/invalidations, or barriers.
+* **Idle** — a core waiting for other cores to finish the kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["StallBreakdown", "CATEGORIES"]
+
+CATEGORIES = ("busy", "comp", "data", "sync", "idle")
+
+
+@dataclass
+class StallBreakdown:
+    """Aggregated SM-cycle counts per category."""
+
+    busy: float = 0.0
+    comp: float = 0.0
+    data: float = 0.0
+    sync: float = 0.0
+    idle: float = 0.0
+
+    def __add__(self, other: "StallBreakdown") -> "StallBreakdown":
+        return StallBreakdown(
+            *(getattr(self, f.name) + getattr(other, f.name)
+              for f in fields(self))
+        )
+
+    def __iadd__(self, other: "StallBreakdown") -> "StallBreakdown":
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    @property
+    def total(self) -> float:
+        """Total SM-cycles across all categories."""
+        return self.busy + self.comp + self.data + self.sync + self.idle
+
+    def fractions(self) -> dict[str, float]:
+        """Category fractions (all zeros for an empty breakdown)."""
+        total = self.total
+        if total == 0:
+            return {name: 0.0 for name in CATEGORIES}
+        return {name: getattr(self, name) / total for name in CATEGORIES}
+
+    def scaled_to(self, execution_time: float) -> dict[str, float]:
+        """Category shares rescaled so they sum to ``execution_time``.
+
+        Figure 5 plots wall-clock execution time segmented by category;
+        this converts aggregate SM-cycle fractions into that shape.
+        """
+        fracs = self.fractions()
+        return {name: fracs[name] * execution_time for name in CATEGORIES}
+
+    def add(self, category: str, amount: float) -> None:
+        """Accumulate ``amount`` cycles into ``category``."""
+        setattr(self, category, getattr(self, category) + amount)

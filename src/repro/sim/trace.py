@@ -1,0 +1,117 @@
+"""Warp-granular instruction traces consumed by the timing engine.
+
+A kernel launch is a :class:`KernelTrace`: a list of thread blocks, each a
+list of warp op-sequences.  Ops are plain tuples headed by an integer
+opcode (kept deliberately primitive — the engine executes millions of
+them):
+
+* ``(OP_COMPUTE, cycles)`` — ALU work.
+* ``(OP_LOAD, lines)`` — a coalesced warp load touching the given cache
+  lines; the warp blocks until all lines arrive.
+* ``(OP_STORE, lines)`` — a non-blocking store (drains via the store
+  buffer / ownership registration).
+* ``(OP_ATOMIC, pairs, needs_value)`` — ``pairs`` is a tuple of
+  ``(line, count)``: the warp's lanes perform ``count`` atomic RMWs on
+  each line.  ``needs_value`` marks atomics whose return value feeds
+  control flow (the warp must block for them under every model).
+* ``(OP_ACQUIRE,)`` / ``(OP_RELEASE,)`` — kernel-boundary (paired)
+  synchronization; triggers invalidation / flush per the coherence
+  protocol.
+* ``(OP_BARRIER,)`` — thread-block-wide barrier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "OP_COMPUTE", "OP_LOAD", "OP_STORE", "OP_ATOMIC", "OP_ACQUIRE",
+    "OP_RELEASE", "OP_BARRIER",
+    "compute", "load", "store", "atomic", "acquire", "release", "barrier",
+    "WarpTrace", "KernelTrace", "op_count",
+]
+
+OP_COMPUTE = 0
+OP_LOAD = 1
+OP_STORE = 2
+OP_ATOMIC = 3
+OP_ACQUIRE = 4
+OP_RELEASE = 5
+OP_BARRIER = 6
+
+WarpTrace = list  # list of op tuples
+
+
+def compute(cycles: int) -> tuple:
+    """An ALU op costing ``cycles``."""
+    if cycles <= 0:
+        raise ValueError("compute cycles must be positive")
+    return (OP_COMPUTE, cycles)
+
+
+def load(lines) -> tuple:
+    """A blocking coalesced load of the given line ids."""
+    lines = tuple(int(x) for x in lines)
+    if not lines:
+        raise ValueError("load must touch at least one line")
+    return (OP_LOAD, lines)
+
+
+def store(lines) -> tuple:
+    """A non-blocking coalesced store to the given line ids."""
+    lines = tuple(int(x) for x in lines)
+    if not lines:
+        raise ValueError("store must touch at least one line")
+    return (OP_STORE, lines)
+
+
+def atomic(pairs, needs_value: bool = False) -> tuple:
+    """Atomic RMWs: ``pairs`` of (line, count)."""
+    pairs = tuple((int(line), int(count)) for line, count in pairs)
+    if not pairs:
+        raise ValueError("atomic must touch at least one line")
+    if any(count <= 0 for _, count in pairs):
+        raise ValueError("atomic counts must be positive")
+    return (OP_ATOMIC, pairs, bool(needs_value))
+
+
+def acquire() -> tuple:
+    """Kernel-boundary acquire (paired synchronization read)."""
+    return (OP_ACQUIRE,)
+
+
+def release() -> tuple:
+    """Kernel-boundary release (paired synchronization write)."""
+    return (OP_RELEASE,)
+
+
+def barrier() -> tuple:
+    """Thread-block-wide barrier."""
+    return (OP_BARRIER,)
+
+
+@dataclass
+class KernelTrace:
+    """One kernel launch: ``blocks[tb][warp]`` is a warp's op list."""
+
+    name: str
+    blocks: list = field(default_factory=list)
+
+    def add_block(self, warps: list) -> None:
+        """Append a thread block given its per-warp op lists."""
+        self.blocks.append(warps)
+
+    @property
+    def num_blocks(self) -> int:
+        """Thread blocks in this launch."""
+        return len(self.blocks)
+
+    @property
+    def num_warps(self) -> int:
+        """Total warps across all thread blocks."""
+        return sum(len(tb) for tb in self.blocks)
+
+
+def op_count(trace: KernelTrace) -> int:
+    """Total op tuples in a kernel trace (cost estimation/testing)."""
+    return sum(len(w) for tb in trace.blocks for w in tb)

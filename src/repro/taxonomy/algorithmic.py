@@ -1,0 +1,94 @@
+"""Algorithmic properties (Section III-B, Table III).
+
+Three per-application properties, determined by inspection of the kernels:
+
+* **Traversal** — static (updates follow input-graph edges) or dynamic
+  (source/target pairs are data-dependent, e.g. pointer chasing in CC).
+* **Control** — whether the predicates elide more work when placed at the
+  source (push outer loop), the target (pull outer loop), or equally.
+* **Information** — whether property loads hoist better at the source, the
+  target, or equally.
+
+Dynamic-traversal applications perform racy push and pull updates in the
+same loop body, so control/information asymmetry does not apply (the
+paper's '-' entries); we model that as ``NOT_APPLICABLE``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "Traversal",
+    "Control",
+    "Information",
+    "AlgorithmicProperties",
+    "APP_PROPERTIES",
+    "APP_KEYS",
+]
+
+
+class Traversal(str, enum.Enum):
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+
+
+class Control(str, enum.Enum):
+    SOURCE = "source"
+    TARGET = "target"
+    SYMMETRIC = "symmetric"
+    NOT_APPLICABLE = "-"
+
+
+class Information(str, enum.Enum):
+    SOURCE = "source"
+    TARGET = "target"
+    SYMMETRIC = "symmetric"
+    NOT_APPLICABLE = "-"
+
+
+@dataclass(frozen=True)
+class AlgorithmicProperties:
+    """One row of Table III."""
+
+    app: str
+    traversal: Traversal
+    control: Control
+    information: Information
+
+    def as_row(self) -> dict:
+        """Row dict for tabular reports."""
+        return {
+            "App": self.app,
+            "Traversal": self.traversal.value.capitalize(),
+            "Control": self.control.value.capitalize()
+            if self.control != Control.NOT_APPLICABLE else "-",
+            "Information": self.information.value.capitalize()
+            if self.information != Information.NOT_APPLICABLE else "-",
+        }
+
+
+APP_PROPERTIES: dict[str, AlgorithmicProperties] = {
+    "PR": AlgorithmicProperties(
+        "PR", Traversal.STATIC, Control.SYMMETRIC, Information.SOURCE
+    ),
+    "SSSP": AlgorithmicProperties(
+        "SSSP", Traversal.STATIC, Control.SOURCE, Information.SOURCE
+    ),
+    "MIS": AlgorithmicProperties(
+        "MIS", Traversal.STATIC, Control.SYMMETRIC, Information.SYMMETRIC
+    ),
+    "CLR": AlgorithmicProperties(
+        "CLR", Traversal.STATIC, Control.SYMMETRIC, Information.TARGET
+    ),
+    "BC": AlgorithmicProperties(
+        "BC", Traversal.STATIC, Control.SOURCE, Information.SYMMETRIC
+    ),
+    "CC": AlgorithmicProperties(
+        "CC", Traversal.DYNAMIC, Control.NOT_APPLICABLE,
+        Information.NOT_APPLICABLE
+    ),
+}
+
+APP_KEYS: tuple[str, ...] = tuple(APP_PROPERTIES)

@@ -1,0 +1,71 @@
+"""Threshold classification of the taxonomy metrics (Section V-A).
+
+The paper discretizes volume, reuse, and imbalance into low/medium/high
+using empirically chosen thresholds: volume is compared against the L1 and
+per-SM L2 capacities; reuse against 0.15/0.40; imbalance against 0.05/0.25;
+and the k-means centroid differential threshold is 10.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Level", "Thresholds", "DEFAULT_THRESHOLDS"]
+
+
+class Level(str, enum.Enum):
+    """Discretized metric level, printed as the paper's H/M/L letters."""
+
+    LOW = "L"
+    MEDIUM = "M"
+    HIGH = "H"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """All classification thresholds from Section V-A.
+
+    ``volume_low_l1_factor`` scales the L1 capacity for the low/medium
+    boundary (the paper uses 1.5x the L1 data cache); the high boundary is
+    the L2 capacity divided by the number of SMs.
+    """
+
+    volume_low_l1_factor: float = 1.5
+    reuse_low: float = 0.15
+    reuse_high: float = 0.40
+    imbalance_low: float = 0.05
+    imbalance_high: float = 0.25
+    kmeans_centroid_diff: float = 10.0
+
+    def classify_volume(
+        self, volume_bytes: float, l1_bytes: int, l2_bytes: int, num_sms: int
+    ) -> Level:
+        """Volume class: compare the per-SM working set to cache capacities."""
+        if volume_bytes < self.volume_low_l1_factor * l1_bytes:
+            return Level.LOW
+        if volume_bytes > l2_bytes / num_sms:
+            return Level.HIGH
+        return Level.MEDIUM
+
+    def classify_reuse(self, reuse: float) -> Level:
+        """Reuse class from the Equation 6 metric (0..1)."""
+        if reuse < self.reuse_low:
+            return Level.LOW
+        if reuse > self.reuse_high:
+            return Level.HIGH
+        return Level.MEDIUM
+
+    def classify_imbalance(self, imbalance: float) -> Level:
+        """Imbalance class from the Equation 7 metric (0..1)."""
+        if imbalance < self.imbalance_low:
+            return Level.LOW
+        if imbalance > self.imbalance_high:
+            return Level.HIGH
+        return Level.MEDIUM
+
+
+DEFAULT_THRESHOLDS = Thresholds()

@@ -1,0 +1,86 @@
+"""Imbalance metric (Equation 7, Section III-A3).
+
+Vertices are assigned to warps (32 consecutive ids) and thread blocks
+(``tb_size`` consecutive ids).  Each warp is summarized by the maximum
+degree it processes; the warps of a thread block are clustered with 1-D
+2-means; a thread block is *marked* imbalanced when the centroid
+differential exceeds the threshold (10 in the paper).  The metric is the
+marked fraction of thread blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .kmeans import two_means_rows
+
+__all__ = ["ImbalanceDetail", "imbalance_metric", "warp_max_degrees",
+           "marked_thread_blocks"]
+
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class ImbalanceDetail:
+    """Imbalance score plus the per-thread-block marking that produced it."""
+
+    imbalance: float
+    marked: np.ndarray  # bool per thread block
+    centroid_low: np.ndarray
+    centroid_high: np.ndarray
+
+
+def warp_max_degrees(
+    graph: CSRGraph, tb_size: int = 256
+) -> np.ndarray:
+    """Per-warp max degree, shaped (num_thread_blocks, warps_per_block).
+
+    The trailing partial thread block is padded by repeating its last
+    warp's value so padding never creates artificial imbalance.
+    """
+    if tb_size % WARP_SIZE != 0:
+        raise ValueError("tb_size must be a multiple of the warp size (32)")
+    degrees = graph.out_degrees.astype(np.float64)
+    n = degrees.size
+    num_warps = -(-n // WARP_SIZE)
+    padded = np.full(num_warps * WARP_SIZE, -np.inf)
+    padded[:n] = degrees
+    per_warp = padded.reshape(num_warps, WARP_SIZE).max(axis=1)
+
+    warps_per_tb = tb_size // WARP_SIZE
+    num_tbs = -(-num_warps // warps_per_tb)
+    tb_matrix = np.empty(num_tbs * warps_per_tb)
+    tb_matrix[:num_warps] = per_warp
+    if num_warps < tb_matrix.size:
+        tb_matrix[num_warps:] = per_warp[-1]
+    return tb_matrix.reshape(num_tbs, warps_per_tb)
+
+
+def marked_thread_blocks(
+    graph: CSRGraph,
+    tb_size: int = 256,
+    centroid_diff_threshold: float = 10.0,
+) -> ImbalanceDetail:
+    """Run the warp clustering and mark imbalanced thread blocks."""
+    rows = warp_max_degrees(graph, tb_size)
+    low, high = two_means_rows(rows)
+    marked = (high - low) > centroid_diff_threshold
+    imbalance = float(marked.mean()) if marked.size else 0.0
+    return ImbalanceDetail(
+        imbalance=imbalance,
+        marked=marked,
+        centroid_low=low,
+        centroid_high=high,
+    )
+
+
+def imbalance_metric(
+    graph: CSRGraph,
+    tb_size: int = 256,
+    centroid_diff_threshold: float = 10.0,
+) -> float:
+    """Imbalance (Equation 7): marked fraction of thread blocks, in [0, 1]."""
+    return marked_thread_blocks(graph, tb_size, centroid_diff_threshold).imbalance

@@ -1,0 +1,59 @@
+"""Deterministic 1-D 2-means clustering.
+
+Section III-A3 clusters the warps of each thread block by the maximum
+vertex degree they process, using k-means with two clusters (low and high
+max degree).  This module implements exactly that: Lloyd's algorithm on a
+1-D value set with k=2, initialized at the extreme values so the result is
+deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["two_means", "two_means_rows"]
+
+
+def two_means(values, max_iters: int = 64) -> tuple[float, float]:
+    """Cluster 1-D ``values`` into two groups; return (low, high) centroids.
+
+    With fewer than two distinct values both centroids coincide.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot cluster an empty value set")
+    low, high = two_means_rows(values.reshape(1, -1), max_iters=max_iters)
+    return float(low[0]), float(high[0])
+
+
+def two_means_rows(
+    rows: np.ndarray, max_iters: int = 64
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise 1-D 2-means over a 2-D array.
+
+    Each row is clustered independently (rows are the thread blocks, columns
+    the per-warp max degrees).  Returns arrays of low and high centroids,
+    one per row.  Vectorized so the imbalance metric scales to the paper's
+    full-size graphs.
+    """
+    rows = np.asarray(rows, dtype=np.float64)
+    if rows.ndim != 2 or rows.shape[1] == 0:
+        raise ValueError("rows must be a non-empty 2-D array")
+    low = rows.min(axis=1)
+    high = rows.max(axis=1)
+    for _ in range(max_iters):
+        midpoint = (low + high) / 2.0
+        in_high = rows > midpoint[:, None]
+        high_count = in_high.sum(axis=1)
+        low_count = rows.shape[1] - high_count
+        # Degenerate rows (all values equal) keep coincident centroids.
+        sum_all = rows.sum(axis=1)
+        sum_high = np.where(in_high, rows, 0.0).sum(axis=1)
+        new_high = np.where(high_count > 0, sum_high / np.maximum(high_count, 1), high)
+        new_low = np.where(
+            low_count > 0, (sum_all - sum_high) / np.maximum(low_count, 1), low
+        )
+        if np.allclose(new_low, low) and np.allclose(new_high, high):
+            break
+        low, high = new_low, new_high
+    return low, high

@@ -1,0 +1,36 @@
+"""Volume metric (Equation 1).
+
+``Volume(G) = (|V| + |E|) / |SM|`` — the average share of the working set
+touched by each GPU core, expressed in bytes by scaling with the property
+element size (the paper's Table II column reproduces exactly with 4-byte
+elements and 15 SMs).
+"""
+
+from __future__ import annotations
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["volume_elements", "volume_bytes", "volume_kb"]
+
+
+def volume_elements(graph: CSRGraph, num_sms: int = 15) -> float:
+    """Per-SM working-set size in property elements: (|V|+|E|)/|SM|."""
+    if num_sms <= 0:
+        raise ValueError("num_sms must be positive")
+    return (graph.num_vertices + graph.num_edges) / num_sms
+
+
+def volume_bytes(
+    graph: CSRGraph, num_sms: int = 15, element_bytes: int = 4
+) -> float:
+    """Per-SM working-set size in bytes."""
+    if element_bytes <= 0:
+        raise ValueError("element_bytes must be positive")
+    return volume_elements(graph, num_sms) * element_bytes
+
+
+def volume_kb(
+    graph: CSRGraph, num_sms: int = 15, element_bytes: int = 4
+) -> float:
+    """Per-SM working-set size in KiB (the unit of Table II)."""
+    return volume_bytes(graph, num_sms, element_bytes) / 1024.0

@@ -1,0 +1,175 @@
+"""Tests for the flexible-system and runtime-adaptation layer."""
+
+import pytest
+
+from repro.adaptive import (
+    DirectionPolicy,
+    FlexibleSimulator,
+    OnlineSelector,
+    run_adaptive,
+    run_direction_adaptive,
+)
+from repro.configs import Configuration, parse_config
+from repro.kernels.base import EdgePhase
+from repro.sim import (
+    GPUSimulator,
+    KernelTrace,
+    SystemConfig,
+    acquire,
+    atomic,
+    load,
+    release,
+)
+
+import numpy as np
+
+
+@pytest.fixture
+def cfg():
+    return SystemConfig(num_sms=2, l1_bytes=2048, l2_bytes=32 * 1024,
+                        tb_size=64, kernel_launch_cycles=100)
+
+
+def kernel_with_atomics(n=40, name="k"):
+    k = KernelTrace(name)
+    ops = [acquire()]
+    for i in range(n):
+        ops.append(load([i]))
+        ops.append(atomic([(i % 7, 1)]))
+    ops.append(release())
+    k.add_block([ops])
+    return k
+
+
+class TestFlexibleSimulator:
+    def test_matches_fixed_when_never_switching(self, cfg):
+        flexible = FlexibleSimulator(cfg)
+        fixed = GPUSimulator(cfg, "gpu", "drfrlx")
+        for i in range(3):
+            flexible.feed(kernel_with_atomics(name=f"k{i}"), "gpu", "drfrlx")
+            fixed.feed(kernel_with_atomics(name=f"k{i}"))
+        assert flexible.result().cycles == fixed.result().cycles
+        assert not flexible.events
+
+    def test_switch_records_event_and_costs(self, cfg):
+        stay = FlexibleSimulator(cfg, reconfig_cycles=5000)
+        switch = FlexibleSimulator(cfg, reconfig_cycles=5000)
+        for i in range(2):
+            stay.feed(kernel_with_atomics(name=f"k{i}"), "gpu", "drf1")
+        switch.feed(kernel_with_atomics(name="k0"), "gpu", "drf1")
+        switch.feed(kernel_with_atomics(name="k1"), "denovo", "drf1")
+        assert len(switch.events) == 1
+        assert switch.events[0].switched_coherence
+        assert switch.result().cycles >= stay.result().cycles
+
+    def test_consistency_switch_is_free(self, cfg):
+        flexible = FlexibleSimulator(cfg, reconfig_cycles=5000)
+        flexible.feed(kernel_with_atomics(name="k0"), "gpu", "drf1")
+        before = flexible.result().cycles
+        flexible.feed(kernel_with_atomics(name="k1"), "gpu", "drfrlx")
+        assert len(flexible.events) == 1
+        assert not flexible.events[0].switched_coherence
+        # No 5000-cycle reconfiguration penalty was charged.
+        assert flexible.result().cycles < before * 2 + 5000
+
+    def test_result_aggregates_kernels(self, cfg):
+        flexible = FlexibleSimulator(cfg)
+        flexible.feed(kernel_with_atomics(), "gpu", "drf1")
+        flexible.feed(kernel_with_atomics(), "denovo", "drf1")
+        result = flexible.result()
+        assert len(result.kernel_cycles) == 2
+        assert set(result.memory_stats) == {"gpu", "denovo"}
+
+
+class TestOnlineSelector:
+    def _candidates(self):
+        return [parse_config("SG1"), parse_config("SGR")]
+
+    def test_explores_then_commits(self):
+        selector = OnlineSelector(self._candidates())
+        first = selector.choose(0)
+        second = selector.choose(1)
+        assert {first.code, second.code} == {"SG1", "SGR"}
+        selector.record(first, cycles=1000.0, ops=10)
+        selector.record(second, cycles=10.0, ops=10)
+        committed = selector.choose(2)
+        assert committed.code == second.code
+        assert selector.committed is committed
+
+    def test_commits_to_cheapest_per_op(self):
+        selector = OnlineSelector(self._candidates())
+        a, b = self._candidates()
+        selector.choose(0)
+        selector.choose(1)
+        selector.record(a, cycles=100.0, ops=100)   # 1.0 / op
+        selector.record(b, cycles=100.0, ops=10)    # 10.0 / op
+        assert selector.choose(5).code == a.code
+
+    def test_commit_without_data_falls_back(self):
+        selector = OnlineSelector(self._candidates())
+        assert selector.choose(99).code == "SG1"
+
+
+class TestRunAdaptive:
+    def test_adaptive_commits_to_oracle_and_amortizes(self, small_random,
+                                                      cfg):
+        result = run_adaptive("PR", small_random, system=cfg, max_iters=20,
+                              reconfig_cycles=200)
+        assert result.committed == result.oracle_code
+        # Exploration costs amortize over a long run.
+        assert result.overhead_vs_oracle < 1.6
+        # Explored each of the 4 candidates once: 3 switches to explore
+        # plus at most one to come home.
+        assert result.reconfigurations <= 4
+
+    def test_mixed_directions_rejected(self, small_random, cfg):
+        with pytest.raises(ValueError, match="direction"):
+            run_adaptive(
+                "PR", small_random,
+                candidates=[parse_config("TG0"), parse_config("SGR")],
+                system=cfg,
+            )
+
+    def test_dynamic_app_supported(self, small_random, cfg):
+        result = run_adaptive("CC", small_random, system=cfg, max_iters=4)
+        assert set(result.fixed_cycles) <= {"DG1", "DGR", "DD1", "DDR"}
+
+
+class TestDirectionPolicy:
+    def test_dense_frontier_pulls(self, small_random):
+        phase = EdgePhase(name="p", source_active=np.ones(
+            small_random.num_vertices, dtype=bool))
+        assert DirectionPolicy().choose(phase, small_random) == "pull"
+
+    def test_sparse_frontier_pushes(self, small_random):
+        mask = np.zeros(small_random.num_vertices, dtype=bool)
+        mask[0] = True
+        phase = EdgePhase(name="p", source_active=mask)
+        assert DirectionPolicy().choose(phase, small_random) == "push"
+
+    def test_no_mask_means_dense(self, small_random):
+        assert DirectionPolicy().choose(
+            EdgePhase(name="p"), small_random) == "pull"
+
+    def test_cost_ratio_moves_crossover(self, small_random):
+        half = np.zeros(small_random.num_vertices, dtype=bool)
+        half[: small_random.num_vertices // 2] = True
+        phase = EdgePhase(name="p", source_active=half)
+        cheap_atomics = DirectionPolicy(push_edge_cost=1.0)
+        dear_atomics = DirectionPolicy(push_edge_cost=10.0)
+        assert cheap_atomics.choose(phase, small_random) == "push"
+        assert dear_atomics.choose(phase, small_random) == "pull"
+
+
+class TestRunDirectionAdaptive:
+    def test_sssp_switches_and_competes(self, small_random, cfg):
+        result = run_direction_adaptive("SSSP", small_random, system=cfg,
+                                        max_iters=6)
+        assert result.directions[0] == "push"  # one-vertex frontier
+        assert result.adaptive_cycles > 0
+        # Within 2x of the better fixed direction (usually much closer).
+        assert result.adaptive_cycles < 2 * result.best_fixed_cycles
+
+    def test_dynamic_app_rejected(self, small_random, cfg):
+        with pytest.raises(ValueError, match="static"):
+            run_direction_adaptive("CC", small_random, system=cfg)

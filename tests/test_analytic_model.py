@@ -1,0 +1,135 @@
+"""Tests for the closed-form analytical cost model."""
+
+import pytest
+
+from repro.configs import figure5_configurations, parse_config
+from repro.graph.stats import DegreeStats
+from repro.model import (
+    analytic_best,
+    estimate_cost,
+    estimate_design_space,
+)
+from repro.taxonomy import (
+    GraphProfile,
+    Level,
+    ReuseMetrics,
+    profile_workload,
+)
+
+
+def make_profile(volume, reuse_class, imbalance, reuse_score=0.5,
+                 max_degree=100, edges=50_000):
+    return GraphProfile(
+        name="g",
+        stats=DegreeStats(10_000, edges, max_degree, edges / 10_000, 1.0),
+        volume_bytes=0.0,
+        reuse=ReuseMetrics(0.0, 0.0, reuse_score),
+        imbalance=0.0,
+        volume_class=Level(volume),
+        reuse_class=Level(reuse_class),
+        imbalance_class=Level(imbalance),
+    )
+
+
+def workload(app="PR", **kwargs):
+    return profile_workload(make_profile(**kwargs), app)
+
+
+class TestEstimateStructure:
+    def test_total_composition(self):
+        est = estimate_cost(workload(volume="M", reuse_class="M",
+                                     imbalance="L"), parse_config("SGR"))
+        assert est.total == pytest.approx(
+            max(est.issue, est.memory, est.atomic) + est.tail
+        )
+
+    def test_pull_has_no_atomic_term(self):
+        est = estimate_cost(workload(volume="M", reuse_class="M",
+                                     imbalance="L"), parse_config("TG0"))
+        assert est.atomic == 0.0
+
+    def test_design_space_covers_all_configs(self):
+        configs = figure5_configurations("static")
+        estimates = estimate_design_space(
+            workload(volume="M", reuse_class="M", imbalance="L"), configs
+        )
+        assert set(estimates) == {c.code for c in configs}
+
+
+class TestQualitativeOrdering:
+    def test_drfrlx_never_worse_than_drf1(self):
+        for volume in "LMH":
+            for reuse in "LMH":
+                wl = workload(volume=volume, reuse_class=reuse,
+                              imbalance="H")
+                drf1 = estimate_cost(wl, parse_config("SG1")).total
+                rlx = estimate_cost(wl, parse_config("SGR")).total
+                assert rlx <= drf1
+
+    def test_drf0_worst_push(self):
+        wl = workload(volume="M", reuse_class="M", imbalance="M")
+        drf0 = estimate_cost(wl, parse_config("SG0")).total
+        drf1 = estimate_cost(wl, parse_config("SG1")).total
+        assert drf0 >= drf1
+
+    def test_imbalance_inflates_serialized_push(self):
+        calm = workload(volume="M", reuse_class="M", imbalance="L",
+                        max_degree=10)
+        spiky = workload(volume="M", reuse_class="M", imbalance="H",
+                         max_degree=5000)
+        gap_calm = (estimate_cost(calm, parse_config("SG1")).total
+                    - estimate_cost(calm, parse_config("SGR")).total)
+        gap_spiky = (estimate_cost(spiky, parse_config("SG1")).total
+                     - estimate_cost(spiky, parse_config("SGR")).total)
+        assert gap_spiky > gap_calm
+
+    def test_denovo_prefers_high_reuse(self):
+        local = workload(volume="L", reuse_class="H", imbalance="L",
+                         reuse_score=0.9)
+        scattered = workload(volume="L", reuse_class="L", imbalance="L",
+                             reuse_score=0.02)
+        def denovo_advantage(wl):
+            return (estimate_cost(wl, parse_config("SGR")).total
+                    - estimate_cost(wl, parse_config("SDR")).total)
+        assert denovo_advantage(local) > denovo_advantage(scattered)
+
+    def test_volume_inflates_pull_memory_term(self):
+        small = estimate_cost(workload(volume="L", reuse_class="H",
+                                       imbalance="L"), parse_config("TG0"))
+        big = estimate_cost(workload(volume="H", reuse_class="H",
+                                     imbalance="L"), parse_config("TG0"))
+        assert big.memory > small.memory
+
+
+class TestAnalyticBest:
+    def test_best_is_minimum(self):
+        wl = workload(volume="M", reuse_class="M", imbalance="M")
+        configs = figure5_configurations("static")
+        best = analytic_best(wl, configs)
+        estimates = estimate_design_space(wl, configs)
+        assert estimates[best.code].total == min(
+            e.total for e in estimates.values()
+        )
+
+    def test_agrees_with_tree_on_clear_cases(self):
+        # High imbalance, medium reuse, high volume: the tree says SGR;
+        # the analytic model should rank a push+DRFrlx config first too.
+        wl = workload(volume="H", reuse_class="M", imbalance="H",
+                      reuse_score=0.2, max_degree=3000)
+        best = analytic_best(wl, figure5_configurations("static"))
+        assert best.direction == "push"
+        assert best.consistency == "drfrlx"
+
+    def test_pull_wins_local_balanced_symmetric(self):
+        wl = profile_workload(
+            make_profile(volume="L", reuse_class="H", imbalance="L",
+                         reuse_score=0.9, max_degree=8),
+            "MIS",
+        )
+        best = analytic_best(wl, figure5_configurations("static"))
+        assert best.direction in ("pull", "push")  # close call by design
+        estimates = estimate_design_space(
+            wl, figure5_configurations("static")
+        )
+        # Pull must at least be competitive (within 2x of the best).
+        assert estimates["TG0"].total <= 2 * estimates[best.code].total

@@ -1,0 +1,30 @@
+"""Additional CLI coverage: run command variants and error paths."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRunVariants:
+    def test_run_dynamic_app(self, capsys):
+        assert main(["run", "RAJ", "CC", "--iters", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "DG1" in out and "best:" in out
+
+    def test_run_default_configs(self, capsys):
+        assert main(["run", "DCT", "MIS", "--iters", "1"]) == 0
+        out = capsys.readouterr().out
+        for code in ("TG0", "SG1", "SGR", "SD1", "SDR"):
+            assert code in out
+
+    def test_run_bad_config_code(self):
+        with pytest.raises(ValueError):
+            main(["run", "DCT", "MIS", "--configs", "XYZ"])
+
+    def test_predict_mtx_input(self, tmp_path, small_random, capsys):
+        from repro.graph import save_mtx
+
+        path = tmp_path / "mine.mtx"
+        save_mtx(small_random, path)
+        assert main(["predict", str(path), "SSSP"]) == 0
+        assert "recommended configuration" in capsys.readouterr().out

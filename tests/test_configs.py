@@ -1,0 +1,72 @@
+"""Unit tests for configuration codes (Section V-D naming)."""
+
+import pytest
+
+from repro.configs import (
+    PULL_BASELINE,
+    PUSH_DEFAULT,
+    Configuration,
+    all_configurations,
+    figure5_configurations,
+    parse_config,
+)
+
+
+class TestParsing:
+    def test_round_trip_all_codes(self):
+        for code in ("TG0", "SG1", "SGR", "SD1", "SDR", "DD1", "DGR"):
+            assert parse_config(code).code == code
+
+    def test_case_insensitive(self):
+        assert parse_config("sgr").code == "SGR"
+
+    def test_component_mapping(self):
+        cfg = parse_config("SDR")
+        assert cfg.direction == "push"
+        assert cfg.coherence == "denovo"
+        assert cfg.consistency == "drfrlx"
+
+    def test_pull_mapping(self):
+        cfg = parse_config("TG0")
+        assert cfg.direction == "pull"
+        assert cfg.coherence == "gpu"
+        assert cfg.consistency == "drf0"
+
+    def test_dynamic_mapping(self):
+        assert parse_config("DD1").direction == "dynamic"
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError, match="3 letters"):
+            parse_config("SGRX")
+
+    def test_unknown_letter_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            parse_config("XGR")
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            Configuration("sideways", "gpu", "drf0")
+
+
+class TestEnumeration:
+    def test_static_design_space(self):
+        codes = {c.code for c in all_configurations("static")}
+        assert "TG0" in codes
+        assert "SGR" in codes
+        assert len(codes) == 7  # 1 pull + 6 push
+
+    def test_dynamic_design_space(self):
+        codes = {c.code for c in all_configurations("dynamic")}
+        assert codes == {"DG0", "DG1", "DGR", "DD0", "DD1", "DDR"}
+
+    def test_figure5_static(self):
+        codes = [c.code for c in figure5_configurations("static")]
+        assert codes == ["TG0", "SG1", "SGR", "SD1", "SDR"]
+
+    def test_figure5_dynamic(self):
+        codes = [c.code for c in figure5_configurations("dynamic")]
+        assert codes == ["DG1", "DGR", "DD1", "DDR"]
+
+    def test_named_defaults(self):
+        assert PULL_BASELINE.code == "TG0"
+        assert PUSH_DEFAULT.code == "SGR"

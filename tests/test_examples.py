@@ -1,0 +1,40 @@
+"""The shipped examples must at least compile and import cleanly."""
+
+import pathlib
+import py_compile
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_custom_graph_example_runs(tmp_path, small_random):
+    """The bring-your-own-graph example end-to-end on a small input."""
+    import runpy
+    import sys
+
+    from repro.graph import save_mtx
+
+    mtx = tmp_path / "tiny.mtx"
+    save_mtx(small_random, mtx)
+    argv = sys.argv
+    sys.argv = ["custom_graph.py", str(mtx)]
+    try:
+        runpy.run_path(
+            str(EXAMPLES[0].parent / "custom_graph.py"), run_name="__main__"
+        )
+    finally:
+        sys.argv = argv

@@ -1,0 +1,166 @@
+"""Unit tests for the runner, sweep machinery, comparisons, and reports."""
+
+import pytest
+
+from repro.configs import parse_config
+from repro.harness import (
+    figure6_rows,
+    flexibility_stats,
+    format_pct,
+    interdependence_rows,
+    render_bar,
+    render_breakdown_bars,
+    render_table,
+    run_workload,
+)
+from repro.sim import StallBreakdown
+
+
+class TestRunWorkload:
+    def test_default_configs_static(self, small_random, tiny_system):
+        result = run_workload("PR", small_random, system=tiny_system,
+                              max_iters=2)
+        assert set(result.results) == {"TG0", "SG1", "SGR", "SD1", "SDR"}
+
+    def test_default_configs_dynamic(self, small_random, tiny_system):
+        result = run_workload("CC", small_random, system=tiny_system,
+                              max_iters=2)
+        assert set(result.results) == {"DG1", "DGR", "DD1", "DDR"}
+
+    def test_all_cycles_positive(self, small_random, tiny_system):
+        result = run_workload("SSSP", small_random, system=tiny_system,
+                              max_iters=2)
+        assert all(r.cycles > 0 for r in result.results.values())
+
+    def test_normalization_baseline_is_one(self, small_random, tiny_system):
+        result = run_workload("PR", small_random, system=tiny_system,
+                              max_iters=2)
+        assert result.normalized()["TG0"] == pytest.approx(1.0)
+
+    def test_best_code_is_minimum(self, small_random, tiny_system):
+        result = run_workload("PR", small_random, system=tiny_system,
+                              max_iters=2)
+        best = result.best_code
+        assert all(result.cycles(best) <= result.cycles(c)
+                   for c in result.results)
+
+    def test_static_app_rejects_dynamic_config(self, small_random,
+                                               tiny_system):
+        with pytest.raises(ValueError, match="not runnable"):
+            run_workload("PR", small_random,
+                         configs=[parse_config("DD1")], system=tiny_system)
+
+    def test_dynamic_app_rejects_push_config(self, small_random, tiny_system):
+        with pytest.raises(ValueError, match="not runnable"):
+            run_workload("CC", small_random,
+                         configs=[parse_config("SGR")], system=tiny_system)
+
+    def test_custom_config_subset(self, small_random, tiny_system):
+        result = run_workload(
+            "PR", small_random,
+            configs=[parse_config("TG0"), parse_config("SGR")],
+            system=tiny_system, max_iters=1,
+        )
+        assert set(result.results) == {"TG0", "SGR"}
+
+    def test_drf0_never_faster_than_drf1_push(self, small_random,
+                                              tiny_system):
+        result = run_workload(
+            "PR", small_random,
+            configs=[parse_config("SG0"), parse_config("SG1")],
+            system=tiny_system, max_iters=2,
+        )
+        assert result.cycles("SG0") >= result.cycles("SG1")
+
+
+class TestReportRendering:
+    def test_table_alignment(self):
+        text = render_table(
+            [{"A": 1, "B": "xx"}, {"A": 222, "B": "y"}], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "B" in lines[1]
+        assert len(lines) == 5
+
+    def test_empty_table(self):
+        assert "(empty)" in render_table([])
+
+    def test_bar_clipping(self):
+        bar = render_bar("x", 99.0, max_value=2.0)
+        assert "+" in bar
+        assert "99.000" in bar
+
+    def test_breakdown_bar_length_tracks_value(self):
+        b = StallBreakdown(busy=1, data=1)
+        short = render_breakdown_bars("a", b, 0.5)
+        long = render_breakdown_bars("a", b, 2.0)
+        assert len(short) <= len(long)
+
+    def test_breakdown_bar_contains_segments(self):
+        b = StallBreakdown(busy=5, data=5)
+        bar = render_breakdown_bars("a", b, 2.0)
+        assert "#" in bar and "." in bar
+
+    def test_format_pct(self):
+        assert format_pct(0.4567) == "45.7%"
+
+
+class TestComparisons:
+    @pytest.fixture(scope="class")
+    def sweep(self, tmp_path_factory):
+        # A miniature sweep over fixture-scale graphs: build it by hand
+        # with run_workload to keep runtime small.
+        from repro.graph import DegreeDistribution, GraphSpec
+        from repro.graph import attach_random_weights, generate_graph
+        from repro.harness.sweep import SweepResult, SweepRow
+        from repro.model import (
+            predict_configuration,
+            predict_partial_configuration,
+            workload_profile,
+        )
+        from repro.sim import SystemConfig
+
+        system = SystemConfig(num_sms=4, l1_bytes=1024, l2_bytes=16 * 1024,
+                              tb_size=64, kernel_launch_cycles=100)
+        graph = attach_random_weights(generate_graph(GraphSpec(
+            num_vertices=300,
+            degrees=DegreeDistribution("geometric", a=2.0, max_draws=12),
+            locality=0.2, seed=5, name="mini",
+        )))
+        result = SweepResult()
+        for app in ("PR", "CC"):
+            profile = workload_profile(graph, app, system)
+            result.rows.append(SweepRow(
+                graph="mini",
+                app=app,
+                workload=run_workload(app, graph, system=system, max_iters=2),
+                predicted=predict_configuration(profile).code,
+                predicted_partial=predict_partial_configuration(profile).code,
+            ))
+        return result
+
+    def test_row_lookup(self, sweep):
+        assert sweep.row("mini", "PR").app == "PR"
+        with pytest.raises(KeyError):
+            sweep.row("mini", "XX")
+
+    def test_figure6_rows_only_losers(self, sweep):
+        for row in figure6_rows(sweep):
+            assert row.best_code != row.reference
+            assert row.best_time <= 1.0
+
+    def test_flexibility_stats_consistent(self, sweep):
+        stats = flexibility_stats(sweep)
+        assert stats.default_wins + stats.default_losses == len(sweep.rows)
+        assert 0.0 <= stats.avg_reduction <= 1.0
+
+    def test_interdependence_excludes_cc(self, sweep):
+        rows = interdependence_rows(sweep)
+        assert all(r["App"] != "CC" for r in rows)
+        for row in rows:
+            assert not row["Best (no DRFrlx)"].endswith("R")
+
+    def test_prediction_gap_at_least_one(self, sweep):
+        for row in sweep.rows:
+            assert row.prediction_gap >= 1.0

@@ -1,0 +1,82 @@
+"""The iteration/phase API each kernel feeds to the trace builder."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    DynamicPhase,
+    EdgePhase,
+    VertexPhase,
+    make_kernel,
+)
+
+APPS = ("PR", "SSSP", "MIS", "CLR", "BC", "CC")
+
+
+class TestIterationShapes:
+    @pytest.mark.parametrize("app", APPS)
+    def test_iterations_bounded(self, small_random, app):
+        kernel = make_kernel(app, small_random)
+        iterations = list(kernel.iterations(max_iters=3))
+        # BC yields up to max_iters forward plus max_iters backward levels.
+        limit = 6 if app == "BC" else 3
+        assert 0 < len(iterations) <= limit
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_phases_have_known_types(self, small_random, app):
+        kernel = make_kernel(app, small_random)
+        for iteration in kernel.iterations(max_iters=2):
+            for phase in iteration:
+                assert isinstance(
+                    phase, (EdgePhase, VertexPhase, DynamicPhase)
+                )
+
+    def test_pr_alternates_buffers(self, small_random):
+        kernel = make_kernel("PR", small_random)
+        phases = [it[0] for it in kernel.iterations(max_iters=2)]
+        assert phases[0].source_arrays[0] != phases[1].source_arrays[0]
+        assert phases[0].update_arrays[0] == phases[1].source_arrays[0]
+
+    def test_sssp_frontier_masks_shrink_to_empty(self, path4):
+        kernel = make_kernel("SSSP", path4)
+        masks = [it[0].source_active.sum()
+                 for it in kernel.iterations(max_iters=20)]
+        assert masks[0] == 1  # just the source
+        assert len(masks) <= path4.num_vertices
+
+    def test_mis_emits_two_phases(self, small_random):
+        kernel = make_kernel("MIS", small_random)
+        first = next(iter(kernel.iterations(max_iters=1)))
+        assert isinstance(first[0], EdgePhase)
+        assert isinstance(first[1], VertexPhase)
+
+    def test_bc_forward_then_backward(self, small_random):
+        kernel = make_kernel("BC", small_random)
+        names = [it[0].name for it in kernel.iterations(max_iters=2)]
+        assert names[0].startswith("bc_fwd")
+        assert names[-1].startswith("bc_bwd")
+
+    def test_cc_emits_hook_and_compress(self, small_random):
+        kernel = make_kernel("CC", small_random)
+        first = next(iter(kernel.iterations(max_iters=1)))
+        assert first[0].name == "cc_hook"
+        assert first[1].name == "cc_compress"
+        assert first[0].cas_targets is not None
+        assert first[1].store_self
+
+    def test_cc_chains_shorten_as_it_converges(self, small_mesh):
+        kernel = make_kernel("CC", small_mesh)
+        iterations = list(kernel.iterations(max_iters=30))
+        hook_sizes = [int(np.diff(it[0].chain_offsets).sum())
+                      for it in iterations]
+        # Early hooking reads grow with tree depth, then collapse once
+        # the component converges; the final iteration must be smaller
+        # than the peak.
+        assert hook_sizes[-1] <= max(hook_sizes)
+
+    def test_clr_masks_are_uncolored_sets(self, small_random):
+        kernel = make_kernel("CLR", small_random)
+        sizes = [int(it[0].source_active.sum())
+                 for it in kernel.iterations(max_iters=4)]
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[0] == small_random.num_vertices

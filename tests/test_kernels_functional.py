@@ -1,0 +1,220 @@
+"""Functional correctness of the six applications against references."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    MIS,
+    BetweennessCentrality,
+    ConnectedComponents,
+    GraphColoring,
+    PageRank,
+    SSSP,
+    make_kernel,
+)
+from tests.conftest import to_networkx
+
+
+class TestRegistry:
+    def test_all_apps_constructible(self, sym_triangle):
+        for app in ("PR", "SSSP", "MIS", "CLR", "BC", "CC"):
+            kernel = make_kernel(app, sym_triangle)
+            assert kernel.app == app
+
+    def test_unknown_rejected(self, sym_triangle):
+        with pytest.raises(KeyError, match="unknown application"):
+            make_kernel("BFS", sym_triangle)
+
+    def test_traversal_types(self, sym_triangle):
+        assert make_kernel("PR", sym_triangle).traversal == "static"
+        assert make_kernel("CC", sym_triangle).traversal == "dynamic"
+
+
+class TestPageRank:
+    def test_matches_networkx(self, small_random):
+        ranks = PageRank(small_random).functional()
+        expected = nx.pagerank(to_networkx(small_random), alpha=0.85,
+                               tol=1e-10)
+        expected_vec = np.array(
+            [expected[v] for v in range(small_random.num_vertices)]
+        )
+        assert np.allclose(ranks, expected_vec, atol=1e-6)
+
+    def test_sums_to_one(self, small_random):
+        assert PageRank(small_random).functional().sum() == pytest.approx(1.0)
+
+    def test_uniform_on_regular_graph(self, small_mesh):
+        ranks = PageRank(small_mesh).functional()
+        assert np.allclose(ranks, 1.0 / small_mesh.num_vertices)
+
+    def test_hub_ranks_highest(self, star):
+        ranks = PageRank(star).functional()
+        assert ranks.argmax() == 0
+
+    def test_respects_max_iters(self, small_random):
+        one_iter = PageRank(small_random).functional(max_iters=1)
+        converged = PageRank(small_random).functional()
+        assert not np.allclose(one_iter, converged)
+
+
+class TestSSSP:
+    def test_matches_networkx(self, small_random):
+        kernel = SSSP(small_random)
+        dist = kernel.functional()
+        nxg = to_networkx(small_random, weighted=True)
+        expected = nx.single_source_dijkstra_path_length(
+            nxg, kernel.source, weight="weight"
+        )
+        for v in range(small_random.num_vertices):
+            if v in expected:
+                assert dist[v] == pytest.approx(expected[v])
+            else:
+                assert np.isinf(dist[v])
+
+    def test_source_distance_zero(self, small_random):
+        kernel = SSSP(small_random)
+        assert kernel.functional()[kernel.source] == 0.0
+
+    def test_unreachable_is_inf(self, two_components):
+        dist = SSSP(two_components, source=0).functional()
+        assert np.isinf(dist[2])
+
+    def test_unweighted_defaults_to_hops(self, path4):
+        dist = SSSP(path4, source=0).functional()
+        assert dist.tolist() == [0.0, 1.0, 2.0, 3.0]
+
+    def test_source_out_of_range_rejected(self, path4):
+        with pytest.raises(ValueError, match="range"):
+            SSSP(path4, source=99)
+
+    def test_defaults_to_max_degree_source(self, star):
+        assert SSSP(star).source == 0
+
+
+class TestMIS:
+    @pytest.fixture
+    def result(self, small_random):
+        return MIS(small_random).functional()
+
+    def test_everyone_decided(self, result):
+        assert set(np.unique(result)) <= {1, 2}
+
+    def test_independence(self, small_random, result):
+        in_set = result == 1
+        src = np.repeat(
+            np.arange(small_random.num_vertices), small_random.out_degrees
+        )
+        both = in_set[src] & in_set[small_random.indices]
+        # Self-loops were removed, so no edge may join two set members.
+        assert not both.any()
+
+    def test_maximality(self, small_random, result):
+        # Every excluded vertex must have a neighbor in the set.
+        in_set = result == 1
+        for v in np.nonzero(result == 2)[0]:
+            assert in_set[small_random.neighbors(v)].any()
+
+    def test_isolated_vertices_join(self, two_components):
+        state = MIS(two_components).functional()
+        assert state[4] == 1
+
+    def test_deterministic_per_seed(self, small_random):
+        a = MIS(small_random, seed=3).functional()
+        b = MIS(small_random, seed=3).functional()
+        assert np.array_equal(a, b)
+
+
+class TestColoring:
+    def test_proper_coloring(self, small_random):
+        color = GraphColoring(small_random).functional()
+        src = np.repeat(
+            np.arange(small_random.num_vertices), small_random.out_degrees
+        )
+        assert (color[src] != color[small_random.indices]).all()
+
+    def test_everyone_colored(self, small_random):
+        assert (GraphColoring(small_random).functional() >= 0).all()
+
+    def test_mesh_needs_few_colors(self, small_mesh):
+        color = GraphColoring(small_mesh).functional()
+        # A 4-regular mesh colored greedily by max-min needs few colors.
+        assert len(np.unique(color)) <= 12
+
+    def test_partial_run_leaves_uncolored(self, small_random):
+        color = GraphColoring(small_random).functional(max_iters=1)
+        assert (color == -1).any()
+
+
+class TestBC:
+    def _reference(self, graph, source):
+        """Plain-Python single-source Brandes (levels, sigma, delta)."""
+        n = graph.num_vertices
+        import collections
+        level = [-1] * n
+        sigma = [0.0] * n
+        level[source] = 0
+        sigma[source] = 1.0
+        order = [source]
+        queue = collections.deque([source])
+        while queue:
+            v = queue.popleft()
+            for w in graph.neighbors(v):
+                w = int(w)
+                if level[w] == -1:
+                    level[w] = level[v] + 1
+                    queue.append(w)
+                    order.append(w)
+                if level[w] == level[v] + 1:
+                    sigma[w] += sigma[v]
+        delta = [0.0] * n
+        for w in reversed(order):
+            for v in graph.neighbors(w):
+                v = int(v)
+                if level[v] == level[w] - 1:
+                    delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+        return level, sigma, delta
+
+    def test_matches_reference(self, small_random):
+        kernel = BetweennessCentrality(small_random)
+        result = kernel.functional()
+        level, sigma, delta = self._reference(small_random, kernel.source)
+        assert result.level.tolist() == level
+        assert np.allclose(result.sigma, sigma)
+        assert np.allclose(result.delta, delta)
+
+    def test_path_graph(self, path4):
+        result = BetweennessCentrality(path4, source=0).functional()
+        assert result.level.tolist() == [0, 1, 2, 3]
+        assert np.allclose(result.sigma, [1, 1, 1, 1])
+        # delta[v] = number of descendants on shortest paths.
+        assert np.allclose(result.delta, [3, 2, 1, 0])
+
+    def test_sigma_counts_paths(self, sym_triangle):
+        result = BetweennessCentrality(sym_triangle, source=0).functional()
+        assert result.sigma[0] == 1.0
+        assert result.sigma[1] == 1.0
+        assert result.sigma[2] == 1.0
+
+
+class TestCC:
+    def test_matches_networkx(self, small_random):
+        labels = ConnectedComponents(small_random).functional()
+        nxg = to_networkx(small_random).to_undirected()
+        for component in nx.connected_components(nxg):
+            component = sorted(component)
+            assert len(set(labels[component])) == 1
+            # Our labels are the minimum vertex id of the component.
+            assert labels[component[0]] == component[0]
+
+    def test_two_components(self, two_components):
+        labels = ConnectedComponents(two_components).functional()
+        assert labels.tolist() == [0, 0, 2, 2, 4]
+
+    def test_fully_connected(self, sym_triangle):
+        labels = ConnectedComponents(sym_triangle).functional()
+        assert (labels == 0).all()
+
+    def test_mesh_single_component(self, small_mesh):
+        labels = ConnectedComponents(small_mesh).functional()
+        assert (labels == 0).all()

@@ -1,0 +1,173 @@
+"""The specialization model must reproduce Table V exactly."""
+
+import pytest
+
+from repro.graph.stats import DegreeStats
+from repro.model import (
+    explain_prediction,
+    extract_features,
+    predict_configuration,
+    predict_partial_configuration,
+    workload_profile,
+)
+from repro.taxonomy import (
+    GraphProfile,
+    Level,
+    ReuseMetrics,
+    profile_workload,
+)
+
+PAPER_CLASSES = {
+    "AMZ": ("H", "M", "L"),
+    "DCT": ("M", "M", "M"),
+    "EML": ("H", "L", "H"),
+    "OLS": ("M", "H", "L"),
+    "RAJ": ("L", "H", "H"),
+    "WNG": ("M", "L", "L"),
+}
+
+# Table V, verbatim.
+TABLE_V = {
+    "AMZ": {"PR": "SGR", "SSSP": "SGR", "MIS": "SGR", "CLR": "SGR",
+            "BC": "SGR", "CC": "DD1"},
+    "DCT": {"PR": "SGR", "SSSP": "SGR", "MIS": "SGR", "CLR": "SGR",
+            "BC": "SGR", "CC": "DD1"},
+    "EML": {"PR": "SGR", "SSSP": "SGR", "MIS": "SGR", "CLR": "SGR",
+            "BC": "SGR", "CC": "DD1"},
+    "OLS": {"PR": "SDR", "SSSP": "SDR", "MIS": "TG0", "CLR": "TG0",
+            "BC": "SDR", "CC": "DD1"},
+    "RAJ": {"PR": "SDR", "SSSP": "SDR", "MIS": "SDR", "CLR": "SDR",
+            "BC": "SDR", "CC": "DD1"},
+    "WNG": {"PR": "SGR", "SSSP": "SGR", "MIS": "SGR", "CLR": "SGR",
+            "BC": "SGR", "CC": "DD1"},
+}
+
+
+def make_profile(name, volume, reuse, imbalance):
+    return GraphProfile(
+        name=name,
+        stats=DegreeStats(10, 10, 1, 1.0, 0.0),
+        volume_bytes=0.0,
+        reuse=ReuseMetrics(0.0, 0.0, 0.5),
+        imbalance=0.0,
+        volume_class=Level(volume),
+        reuse_class=Level(reuse),
+        imbalance_class=Level(imbalance),
+    )
+
+
+class TestTableV:
+    @pytest.mark.parametrize("graph", sorted(PAPER_CLASSES))
+    @pytest.mark.parametrize("app", ["PR", "SSSP", "MIS", "CLR", "BC", "CC"])
+    def test_prediction_matches_paper(self, graph, app):
+        profile = profile_workload(
+            make_profile(graph, *PAPER_CLASSES[graph]), app
+        )
+        assert predict_configuration(profile).code == TABLE_V[graph][app]
+
+    def test_all_36_match(self):
+        mismatches = []
+        for graph, classes in PAPER_CLASSES.items():
+            for app, expected in TABLE_V[graph].items():
+                profile = profile_workload(make_profile(graph, *classes), app)
+                got = predict_configuration(profile).code
+                if got != expected:
+                    mismatches.append((graph, app, got, expected))
+        assert not mismatches
+
+
+class TestDecisionBranches:
+    def test_dynamic_always_dd1(self):
+        for classes in (("H", "L", "H"), ("L", "H", "L")):
+            profile = profile_workload(make_profile("g", *classes), "CC")
+            assert predict_configuration(profile).code == "DD1"
+
+    def test_pull_needs_high_reuse_low_imbalance_small_volume(self):
+        profile = profile_workload(make_profile("g", "L", "H", "L"), "MIS")
+        # Low volume + high reuse + low imbalance, symmetric app -> pull.
+        assert predict_configuration(profile).code == "TG0"
+
+    def test_source_control_forces_push(self):
+        profile = profile_workload(make_profile("g", "L", "H", "L"), "SSSP")
+        assert predict_configuration(profile).direction == "push"
+
+    def test_source_information_forces_push(self):
+        profile = profile_workload(make_profile("g", "L", "H", "L"), "PR")
+        assert predict_configuration(profile).direction == "push"
+
+    def test_medium_imbalance_forces_push(self):
+        profile = profile_workload(make_profile("g", "L", "H", "M"), "MIS")
+        assert predict_configuration(profile).direction == "push"
+
+    def test_denovo_needs_reuse_and_bounded_volume(self):
+        high_reuse = profile_workload(make_profile("g", "L", "H", "H"), "PR")
+        assert predict_configuration(high_reuse).coherence == "denovo"
+        high_volume = profile_workload(make_profile("g", "H", "H", "H"), "PR")
+        assert predict_configuration(high_volume).coherence == "gpu"
+
+    def test_drfrlx_needs_imbalance_or_volume(self):
+        calm = profile_workload(make_profile("g", "L", "H", "L"), "PR")
+        assert predict_configuration(calm).consistency == "drf1"
+        imbalanced = profile_workload(make_profile("g", "L", "H", "H"), "PR")
+        assert predict_configuration(imbalanced).consistency == "drfrlx"
+        voluminous = profile_workload(make_profile("g", "M", "H", "L"), "PR")
+        assert predict_configuration(voluminous).consistency == "drfrlx"
+
+
+class TestPartialModel:
+    def test_never_recommends_drfrlx(self):
+        for graph, classes in PAPER_CLASSES.items():
+            for app in ("PR", "SSSP", "MIS", "CLR", "BC", "CC"):
+                profile = profile_workload(make_profile(graph, *classes), app)
+                assert predict_partial_configuration(
+                    profile
+                ).consistency != "drfrlx"
+
+    def test_mis_raj_flips_to_pull_without_drfrlx(self):
+        """The paper's inter-dependence example (Section VI)."""
+        profile = profile_workload(make_profile("RAJ", "L", "H", "H"), "MIS")
+        full = predict_configuration(profile)
+        partial = predict_partial_configuration(profile)
+        assert full.code == "SDR"
+        assert partial.code == "TG0"
+
+    def test_control_source_still_pushes(self):
+        profile = profile_workload(make_profile("RAJ", "L", "H", "H"), "SSSP")
+        assert predict_partial_configuration(profile).direction == "push"
+
+    def test_information_source_accepts_medium_volume(self):
+        profile = profile_workload(make_profile("g", "M", "H", "L"), "PR")
+        assert predict_partial_configuration(profile).direction == "push"
+
+    def test_symmetric_needs_high_volume(self):
+        profile = profile_workload(make_profile("g", "M", "H", "L"), "MIS")
+        assert predict_partial_configuration(profile).direction == "pull"
+
+    def test_dynamic_unchanged(self):
+        profile = profile_workload(make_profile("g", "H", "L", "H"), "CC")
+        assert predict_partial_configuration(profile).code == "DD1"
+
+
+class TestHelpers:
+    def test_extract_features(self):
+        profile = profile_workload(make_profile("g", "H", "M", "L"), "SSSP")
+        features = extract_features(profile)
+        assert features.volume == "H"
+        assert features.control == "source"
+        assert features.traversal == "static"
+
+    def test_explain_mentions_prediction(self):
+        profile = profile_workload(make_profile("g", "H", "M", "L"), "PR")
+        text = "\n".join(explain_prediction(profile))
+        assert "SGR" in text
+
+    def test_explain_dynamic(self):
+        profile = profile_workload(make_profile("g", "H", "M", "L"), "CC")
+        text = "\n".join(explain_prediction(profile))
+        assert "DD1" in text
+
+    def test_workload_profile_end_to_end(self, small_random):
+        profile = workload_profile(small_random, "PR")
+        assert profile.app.app == "PR"
+        prediction = predict_configuration(profile)
+        assert prediction.code

@@ -1,0 +1,80 @@
+"""End-to-end sweep pipeline on a miniature scale (2 graphs x 2 apps)."""
+
+import pytest
+
+from repro.harness import (
+    figure6_rows,
+    flexibility_stats,
+    interdependence_rows,
+    run_sweep,
+)
+from repro.harness.ablation import feature_ablation, threshold_sensitivity
+
+
+@pytest.fixture(scope="module")
+def mini_sweep():
+    # Oversized scale divisors make the stand-ins tiny; classes may
+    # drift from the paper's at this scale, which the pipeline tolerates.
+    return run_sweep(
+        graphs=("RAJ", "DCT"),
+        apps=("SSSP", "CC"),
+        max_iters=2,
+        scales={"RAJ": 16, "DCT": 32},
+    )
+
+
+class TestSweepPipeline:
+    def test_row_count(self, mini_sweep):
+        assert len(mini_sweep.rows) == 4
+
+    def test_rows_have_predictions(self, mini_sweep):
+        for row in mini_sweep.rows:
+            assert len(row.predicted) == 3
+            assert len(row.predicted_partial) == 3
+            assert not row.predicted_partial.endswith("R")
+
+    def test_cc_rows_use_dynamic_configs(self, mini_sweep):
+        for row in mini_sweep.rows:
+            if row.app == "CC":
+                assert all(code.startswith("D")
+                           for code in row.workload.results)
+
+    def test_baseline_is_leftmost(self, mini_sweep):
+        for row in mini_sweep.rows:
+            expected = "DG1" if row.app == "CC" else "TG0"
+            assert row.baseline == expected
+            assert row.normalized()[expected] == pytest.approx(1.0)
+
+    def test_prediction_gap_sane(self, mini_sweep):
+        for row in mini_sweep.rows:
+            assert 1.0 <= row.prediction_gap < 100.0
+
+    def test_figure6_selection_consistent(self, mini_sweep):
+        rows = figure6_rows(mini_sweep)
+        stats = flexibility_stats(mini_sweep)
+        assert len(rows) == stats.default_losses
+
+    def test_interdependence_rows_static_only(self, mini_sweep):
+        rows = interdependence_rows(mini_sweep)
+        assert len(rows) == 2  # the two SSSP rows
+
+    def test_ablations_run_on_sweep(self, mini_sweep):
+        thresholds = threshold_sensitivity(
+            mini_sweep,
+            variants=None,
+            seed=0,
+        )
+        assert thresholds[0].total == 4
+        features = feature_ablation(mini_sweep)
+        assert features[0].label == "full model"
+
+    def test_progress_callback(self):
+        seen = []
+        run_sweep(
+            graphs=("RAJ",),
+            apps=("MIS",),
+            max_iters=1,
+            scales={"RAJ": 32},
+            progress=seen.append,
+        )
+        assert seen == ["RAJ/MIS"]

@@ -1,0 +1,131 @@
+"""Unit tests for trace ops, the address map, and stall accounting."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    CATEGORIES,
+    AddressMap,
+    KernelTrace,
+    StallBreakdown,
+    acquire,
+    atomic,
+    barrier,
+    compute,
+    load,
+    op_count,
+    release,
+    store,
+)
+from repro.sim.trace import (
+    OP_ACQUIRE,
+    OP_ATOMIC,
+    OP_BARRIER,
+    OP_COMPUTE,
+    OP_LOAD,
+    OP_RELEASE,
+    OP_STORE,
+)
+
+
+class TestOps:
+    def test_opcodes(self):
+        assert compute(3) == (OP_COMPUTE, 3)
+        assert load([1, 2]) == (OP_LOAD, (1, 2))
+        assert store([4]) == (OP_STORE, (4,))
+        assert atomic([(7, 2)]) == (OP_ATOMIC, ((7, 2),), False)
+        assert atomic([(7, 1)], needs_value=True)[2] is True
+        assert acquire() == (OP_ACQUIRE,)
+        assert release() == (OP_RELEASE,)
+        assert barrier() == (OP_BARRIER,)
+
+    def test_empty_load_rejected(self):
+        with pytest.raises(ValueError):
+            load([])
+
+    def test_zero_compute_rejected(self):
+        with pytest.raises(ValueError):
+            compute(0)
+
+    def test_nonpositive_atomic_count_rejected(self):
+        with pytest.raises(ValueError):
+            atomic([(3, 0)])
+
+    def test_kernel_trace_counts(self):
+        k = KernelTrace("k")
+        k.add_block([[acquire(), release()], [acquire(), release()]])
+        k.add_block([[acquire(), compute(1), release()]])
+        assert k.num_blocks == 2
+        assert k.num_warps == 3
+        assert op_count(k) == 7
+
+
+class TestAddressMap:
+    def test_distinct_regions_do_not_collide(self):
+        amap = AddressMap()
+        assert amap.line("a", 0) != amap.line("b", 0)
+
+    def test_elements_share_lines(self):
+        amap = AddressMap(line_bytes=64, element_bytes=4)
+        assert amap.line("a", 0) == amap.line("a", 15)
+        assert amap.line("a", 16) == amap.line("a", 0) + 1
+
+    def test_lines_unique_sorted(self):
+        amap = AddressMap()
+        lines = amap.lines("a", [17, 0, 15, 16])
+        assert lines.tolist() == sorted(set(lines.tolist()))
+        assert len(lines) == 2
+
+    def test_line_range(self):
+        amap = AddressMap()
+        lines = amap.line_range("a", 0, 33)
+        assert len(lines) == 3
+
+    def test_empty_range(self):
+        amap = AddressMap()
+        assert len(amap.line_range("a", 5, 5)) == 0
+
+    def test_line_counts_groups(self):
+        amap = AddressMap()
+        pairs = amap.line_counts("a", [0, 1, 2, 16])
+        base = amap.region_base("a")
+        assert (base, 3) in pairs
+        assert (base + 1, 1) in pairs
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            AddressMap(line_bytes=10, element_bytes=4)
+
+
+class TestStallBreakdown:
+    def test_addition(self):
+        a = StallBreakdown(busy=1, data=2)
+        b = StallBreakdown(busy=3, sync=4)
+        c = a + b
+        assert c.busy == 4 and c.data == 2 and c.sync == 4
+
+    def test_inplace_addition(self):
+        a = StallBreakdown(busy=1)
+        a += StallBreakdown(idle=2)
+        assert a.busy == 1 and a.idle == 2
+
+    def test_fractions_sum_to_one(self):
+        b = StallBreakdown(busy=1, comp=2, data=3, sync=4, idle=0)
+        assert sum(b.fractions().values()) == pytest.approx(1.0)
+
+    def test_empty_fractions(self):
+        assert all(v == 0 for v in StallBreakdown().fractions().values())
+
+    def test_scaled_to(self):
+        b = StallBreakdown(busy=1, data=1)
+        scaled = b.scaled_to(100.0)
+        assert scaled["busy"] == pytest.approx(50.0)
+        assert sum(scaled.values()) == pytest.approx(100.0)
+
+    def test_categories_constant(self):
+        assert CATEGORIES == ("busy", "comp", "data", "sync", "idle")
+
+    def test_add_by_name(self):
+        b = StallBreakdown()
+        b.add("sync", 5.0)
+        assert b.sync == 5.0

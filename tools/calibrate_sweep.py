@@ -1,0 +1,57 @@
+"""Calibration sweep: run all 36 workloads, compare BEST against PRED.
+
+Development tool used while tuning the timing model; the shipping version
+of this comparison is benchmarks/bench_fig6_best_vs_pred.py.
+
+Usage: python tools/calibrate_sweep.py [GRAPH ...]
+"""
+
+import sys
+import time
+
+from repro.graph import DEFAULT_SIM_SCALE, load_dataset
+from repro.harness import run_workload
+from repro.model import predict_configuration
+from repro.sim.config import scaled_system
+from repro.taxonomy import profile_graph, profile_workload
+
+APPS = ("PR", "SSSP", "MIS", "CLR", "BC", "CC")
+
+
+def main(keys):
+    t00 = time.time()
+    match = 0
+    total = 0
+    for key in keys:
+        scale = DEFAULT_SIM_SCALE[key]
+        graph = load_dataset(key, scale=scale)
+        system = scaled_system(scale)
+        profile = profile_graph(
+            graph,
+            l1_bytes=32 * 1024 // scale,
+            l2_bytes=4 * 1024 * 1024 // scale,
+        )
+        print("===", key, flush=True)
+        for app in APPS:
+            t0 = time.time()
+            pred = predict_configuration(profile_workload(profile, app)).code
+            result = run_workload(app, graph, system=system)
+            norm = result.normalized()
+            total += 1
+            if result.best_code == pred:
+                verdict = "MATCH"
+            elif norm[pred] / min(norm.values()) < 1.05:
+                verdict = "close"
+            else:
+                verdict = "MISS"
+            if verdict != "MISS":
+                match += 1
+            bars = {k: round(v, 3) for k, v in norm.items()}
+            print(f"  {app:5s} {bars} best={result.best_code} "
+                  f"pred={pred} {verdict} [{time.time() - t0:.0f}s]",
+                  flush=True)
+    print(f"match-or-close: {match}/{total}, total {time.time() - t00:.0f}s")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or list(DEFAULT_SIM_SCALE))
