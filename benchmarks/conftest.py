@@ -25,13 +25,21 @@ def quick_mode() -> bool:
 
 
 def get_sweep():
-    """The full 36-workload sweep, computed once per session."""
+    """The full 36-workload sweep, computed once per session.
+
+    The sweep executes through ``repro.runtime``: set
+    ``REPRO_BENCH_JOBS=N`` to fan workloads across N worker processes
+    and ``REPRO_BENCH_CACHE_DIR=DIR`` to reuse per-workload results
+    across benchmark sessions (interrupted runs resume for free).
+    """
     if "sweep" not in _CACHE:
         from repro.harness import run_sweep
 
         max_iters = 2 if quick_mode() else None
         _CACHE["sweep"] = run_sweep(
             max_iters=max_iters,
+            jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+            cache=os.environ.get("REPRO_BENCH_CACHE_DIR") or None,
             progress=lambda label: print(f"  [sweep] {label}", flush=True),
         )
     return _CACHE["sweep"]

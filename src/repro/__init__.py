@@ -14,11 +14,13 @@ Subpackages: :mod:`repro.graph` (CSR substrate, generators, datasets),
 :mod:`repro.taxonomy` (volume/reuse/imbalance, Table III properties),
 :mod:`repro.sim` (the timing simulator: caches, coherence, consistency,
 engine), :mod:`repro.kernels` (the six applications and trace
-generation), :mod:`repro.model` (the Figure 4 decision tree), and
-:mod:`repro.harness` (runners, sweeps, and report rendering).
+generation), :mod:`repro.model` (the Figure 4 decision tree),
+:mod:`repro.harness` (runners, sweeps, and report rendering), and
+:mod:`repro.runtime` (workload specs, serial/process-pool executors, and
+the content-addressed result cache).
 """
 
-from . import adaptive, graph, harness, kernels, model, sim, taxonomy
+from . import adaptive, graph, harness, kernels, model, runtime, sim, taxonomy
 from .configs import (
     Configuration,
     all_configurations,
@@ -38,6 +40,13 @@ from .model import (
     predict_configuration,
     predict_partial_configuration,
     workload_profile,
+)
+from .runtime import (
+    ExecutionPlan,
+    GraphRef,
+    ResultCache,
+    WorkloadSpec,
+    run_plan,
 )
 from .sim import DEFAULT_SYSTEM, GPUSimulator, SystemConfig, scaled_system
 from .taxonomy import profile_graph, profile_workload
@@ -73,5 +82,11 @@ __all__ = [
     "explain_prediction",
     "run_workload",
     "run_sweep",
+    "runtime",
+    "GraphRef",
+    "WorkloadSpec",
+    "ExecutionPlan",
+    "ResultCache",
+    "run_plan",
     "__version__",
 ]

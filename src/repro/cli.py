@@ -11,20 +11,25 @@ sweep                 the full 36-workload sweep (slow)
 ``GRAPH`` is one of AMZ DCT EML OLS RAJ WNG (built at its simulation
 scale) or a path to a Matrix Market file (profiled against the full-size
 Table IV machine).
+
+``run`` and ``sweep`` execute through the ``repro.runtime`` layer:
+results are memoized per workload in a content-addressed cache
+(``--cache-dir DIR``, ``--no-cache``), and ``sweep --jobs N`` fans
+workloads across N worker processes.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from dataclasses import replace
 
 from .configs import parse_config
 from .graph import DEFAULT_SIM_SCALE, PAPER_DATASETS, load_dataset, load_mtx
 from .graph.builders import normalize
 from .graph.generators import attach_random_weights
-from .harness import render_breakdown_bars, render_table, run_workload
+from .harness import render_breakdown_bars, render_table
 from .model import explain_prediction, predict_configuration
+from .runtime import GraphRef, ResultCache, WorkloadSpec, run_plan
 from .sim.config import DEFAULT_SYSTEM, scaled_system
 from .taxonomy import APP_PROPERTIES, profile_graph, profile_workload
 
@@ -39,6 +44,20 @@ def _resolve_graph(name: str):
         return load_dataset(key, scale=scale), scale
     graph = attach_random_weights(normalize(load_mtx(name)))
     return graph, 1
+
+
+def _resolve_ref(name: str) -> GraphRef:
+    """A runtime graph reference for a dataset key or a .mtx path."""
+    if name.upper() in PAPER_DATASETS:
+        return GraphRef.dataset(name.upper())
+    return GraphRef.mtx(name)
+
+
+def _resolve_cache(args) -> ResultCache | None:
+    """The result cache the flags select (None under ``--no-cache``)."""
+    if args.no_cache:
+        return None
+    return ResultCache(args.cache_dir)
 
 
 def _profile_for(graph, scale):
@@ -91,15 +110,18 @@ def _cmd_predict(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    graph, scale = _resolve_graph(args.graph)
-    app = args.app.upper()
-    system = scaled_system(scale)
+    ref = _resolve_ref(args.graph)
     configs = None
     if args.configs:
         configs = [parse_config(code) for code in args.configs.split(",")]
-    result = run_workload(app, graph, configs=configs, system=system,
-                          max_iters=args.iters)
-    print(f"{app} on {graph.name}: normalized execution time")
+    spec = WorkloadSpec.for_workload(
+        args.app.upper(), ref,
+        configs=configs,
+        system=scaled_system(ref.scale),
+        max_iters=args.iters,
+    )
+    result = run_plan([spec], cache=_resolve_cache(args))[0]
+    print(f"{spec.app} on {result.graph_name}: normalized execution time")
     for code, value in result.normalized().items():
         print(render_breakdown_bars(
             code, result.results[code].breakdown, value))
@@ -112,6 +134,8 @@ def _cmd_sweep(args) -> int:
 
     sweep = run_sweep(
         max_iters=args.iters,
+        jobs=args.jobs,
+        cache=_resolve_cache(args),
         progress=lambda label: print(f"  {label}", flush=True),
     )
     rows = [{
@@ -146,7 +170,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_predict.add_argument("graph")
     p_predict.add_argument("app")
 
-    p_run = sub.add_parser("run", help="simulate one workload")
+    cache_flags = argparse.ArgumentParser(add_help=False)
+    cache_flags.add_argument("--cache-dir", default=None,
+                             help="result-cache directory (default "
+                                  "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    cache_flags.add_argument("--no-cache", action="store_true",
+                             help="simulate everything; skip the result "
+                                  "cache")
+
+    p_run = sub.add_parser("run", parents=[cache_flags],
+                           help="simulate one workload")
     p_run.add_argument("graph")
     p_run.add_argument("app")
     p_run.add_argument("--configs", help="comma-separated codes (e.g. "
@@ -154,8 +187,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--iters", type=int, default=None,
                        help="cap simulated iterations")
 
-    p_sweep = sub.add_parser("sweep", help="full 36-workload sweep (slow)")
+    p_sweep = sub.add_parser("sweep", parents=[cache_flags],
+                             help="full 36-workload sweep (slow)")
     p_sweep.add_argument("--iters", type=int, default=None)
+    p_sweep.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for the sweep "
+                              "(1 = in-process serial execution)")
     return parser
 
 

@@ -16,8 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Iterable
 
-from ..graph.datasets import DEFAULT_SIM_SCALE, load_dataset
+from ..graph.datasets import DEFAULT_SIM_SCALE
 from ..model import predict_configuration
+from ..runtime import GraphRef, load_graph
 from ..sim.config import DEFAULT_SYSTEM
 from ..taxonomy import (
     DEFAULT_THRESHOLDS,
@@ -64,11 +65,15 @@ def graph_profiles_for_sweep(
     thresholds: Thresholds = DEFAULT_THRESHOLDS,
     seed: int = 0,
 ) -> dict[str, GraphProfile]:
-    """Profile each distinct graph of a sweep under the given thresholds."""
+    """Profile each distinct graph of a sweep under the given thresholds.
+
+    Graphs are materialized through the runtime's memoized loader, so
+    scoring many threshold variants rebuilds each dataset only once.
+    """
     profiles: dict[str, GraphProfile] = {}
     for key in {row.graph for row in sweep.rows}:
         scale = DEFAULT_SIM_SCALE[key]
-        graph = load_dataset(key, scale=scale, seed=seed)
+        graph = load_graph(GraphRef.dataset(key, scale=scale, seed=seed))
         profiles[key] = profile_graph(
             graph,
             num_sms=DEFAULT_SYSTEM.num_sms,

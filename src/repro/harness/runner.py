@@ -25,6 +25,7 @@ class WorkloadResult:
     app: str
     graph_name: str
     results: dict[str, ExecutionResult] = field(default_factory=dict)
+    baseline: str | None = None
 
     def cycles(self, code: str) -> float:
         """Execution cycles of one configuration."""
@@ -38,12 +39,14 @@ class WorkloadResult:
     def normalized(self, baseline: str | None = None) -> dict[str, float]:
         """Cycles of every configuration relative to a baseline.
 
-        Defaults to the first configuration fed to the runner, which for
-        Figure 5 ordering is the paper's normalization bar (TG0 for static
-        apps, DG1 for CC).
+        Defaults to the result's own ``baseline`` field (set by
+        :func:`run_workload` to the first configuration it was handed,
+        which for Figure 5 ordering is the paper's normalization bar —
+        TG0 for static apps, DG1 for CC), falling back to the first
+        stored configuration for hand-built results.
         """
         if baseline is None:
-            baseline = next(iter(self.results))
+            baseline = self.baseline or next(iter(self.results))
         base = self.results[baseline].cycles
         if base == 0:
             raise ZeroDivisionError("baseline configuration took 0 cycles")
@@ -51,6 +54,27 @@ class WorkloadResult:
             code: result.cycles / base
             for code, result in self.results.items()
         }
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (crosses process and cache boundaries)."""
+        return {
+            "app": self.app,
+            "graph_name": self.graph_name,
+            "baseline": self.baseline,
+            "results": {code: result.to_dict()
+                        for code, result in self.results.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadResult":
+        """Inverse of :meth:`to_dict`; preserves configuration order."""
+        return cls(
+            app=data["app"],
+            graph_name=data["graph_name"],
+            baseline=data.get("baseline"),
+            results={code: ExecutionResult.from_dict(result)
+                     for code, result in data["results"].items()},
+        )
 
 
 def _trace_direction(config_direction: str) -> str:
@@ -106,7 +130,8 @@ def run_workload(
             for trace in realized[_trace_direction(config.direction)]:
                 simulator.feed(trace)
 
-    outcome = WorkloadResult(app=app, graph_name=graph.name)
+    outcome = WorkloadResult(app=app, graph_name=graph.name,
+                             baseline=configs[0].code if configs else None)
     for code, (_, simulator) in simulators.items():
         outcome.results[code] = simulator.result()
     return outcome

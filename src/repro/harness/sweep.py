@@ -3,20 +3,26 @@
 Produces one :class:`SweepRow` per workload carrying the normalized
 execution times, the empirical best configuration, and the model's
 prediction — everything Figures 5/6 and Table V compare.
+
+Execution goes through :mod:`repro.runtime`: the sweep is described as an
+:class:`~repro.runtime.ExecutionPlan`, run by a serial or process-pool
+executor (``jobs``), and memoized unit-by-unit in a content-addressed
+:class:`~repro.runtime.ResultCache` (``cache``), so repeated or
+interrupted sweeps only simulate what is missing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Iterable
 
-from ..configs import figure5_configurations
-from ..graph.datasets import DEFAULT_SIM_SCALE, load_dataset
-from ..kernels.registry import KERNELS
+from ..graph.datasets import DEFAULT_SIM_SCALE
 from ..model import predict_configuration, predict_partial_configuration
-from ..sim.config import DEFAULT_SYSTEM, SystemConfig, scaled_system
+from ..runtime import ExecutionPlan, ResultCache, load_graph, run_plan
+from ..sim.config import DEFAULT_SYSTEM, SystemConfig
 from ..taxonomy import profile_graph, profile_workload
-from .runner import WorkloadResult, run_workload
+from .runner import WorkloadResult
 
 __all__ = ["SweepRow", "SweepResult", "run_sweep", "APPS", "GRAPHS"]
 
@@ -42,7 +48,7 @@ class SweepRow:
     @property
     def baseline(self) -> str:
         """The normalization bar (TG0, or DG1 for dynamic apps)."""
-        return next(iter(self.workload.results))
+        return self.workload.baseline or next(iter(self.workload.results))
 
     def normalized(self) -> dict[str, float]:
         """Execution time of each configuration relative to the baseline."""
@@ -65,13 +71,26 @@ class SweepResult:
     """All rows of a sweep plus convenient aggregates."""
 
     rows: list = field(default_factory=list)
+    _index: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def add(self, row: SweepRow) -> None:
+        """Append a row, keeping the lookup index current."""
+        self.rows.append(row)
+        self._index[(row.graph, row.app)] = row
 
     def row(self, graph: str, app: str) -> SweepRow:
-        """Look up one workload's row."""
-        for row in self.rows:
-            if row.graph == graph and row.app == app:
-                return row
-        raise KeyError(f"no row for ({graph}, {app})")
+        """O(1) lookup of one workload's row.
+
+        The index is rebuilt lazily whenever ``rows`` was mutated
+        directly (tests and tools append to the list), so direct appends
+        stay supported.
+        """
+        if len(self._index) != len(self.rows):
+            self._index = {(r.graph, r.app): r for r in self.rows}
+        try:
+            return self._index[(graph, app)]
+        except KeyError:
+            raise KeyError(f"no row for ({graph}, {app})") from None
 
     @property
     def exact_predictions(self) -> int:
@@ -91,6 +110,14 @@ class SweepResult:
         return losers
 
 
+def _resolve_cache(
+    cache: ResultCache | str | Path | None,
+) -> ResultCache | None:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
 def run_sweep(
     graphs: Iterable[str] = GRAPHS,
     apps: Iterable[str] = APPS,
@@ -99,6 +126,8 @@ def run_sweep(
     scales: dict[str, int] | None = None,
     base_system: SystemConfig = DEFAULT_SYSTEM,
     progress: Callable[[str], None] | None = None,
+    jobs: int | None = 1,
+    cache: ResultCache | str | Path | None = None,
 ) -> SweepResult:
     """Run the full evaluation sweep.
 
@@ -106,35 +135,49 @@ def run_sweep(
     scaled to match, so taxonomy classes — and hence model predictions —
     equal the full-size graphs' (see DESIGN.md).  ``max_iters`` caps the
     simulated iterations per workload (None = each kernel's default).
+
+    ``jobs`` > 1 fans the workloads across that many worker processes;
+    ``cache`` (a :class:`ResultCache` or a directory path) skips units
+    whose results are already on disk.  Both paths produce results
+    identical to the serial, uncached sweep.
     """
+    graphs = tuple(graphs)
+    apps = tuple(apps)
     scales = scales or DEFAULT_SIM_SCALE
+
+    plan = ExecutionPlan.for_sweep(
+        graphs, apps,
+        max_iters=max_iters,
+        seed=seed,
+        scales=scales,
+        base_system=base_system,
+    )
+    workloads = run_plan(
+        plan,
+        jobs=jobs,
+        cache=_resolve_cache(cache),
+        progress=progress,
+    )
+
     result = SweepResult()
+    units = iter(zip(plan, workloads))
     for graph_key in graphs:
         scale = scales[graph_key]
-        graph = load_dataset(graph_key, scale=scale, seed=seed)
-        system = scaled_system(scale, base_system)
-        graph_profile = profile_graph(
-            graph,
-            num_sms=base_system.num_sms,
-            l1_bytes=base_system.l1_bytes // scale,
-            l2_bytes=base_system.l2_bytes // scale,
-            tb_size=base_system.tb_size,
-        )
+        graph_profile = None
         for app in apps:
-            if progress is not None:
-                progress(f"{graph_key}/{app}")
+            spec, workload = next(units)
+            if graph_profile is None:
+                graph_profile = profile_graph(
+                    load_graph(spec.graph),
+                    num_sms=base_system.num_sms,
+                    l1_bytes=base_system.l1_bytes // scale,
+                    l2_bytes=base_system.l2_bytes // scale,
+                    tb_size=base_system.tb_size,
+                )
             workload_profile = profile_workload(graph_profile, app)
             predicted = predict_configuration(workload_profile)
             partial = predict_partial_configuration(workload_profile)
-            traversal = KERNELS[app].traversal
-            workload = run_workload(
-                app, graph,
-                configs=figure5_configurations(traversal),
-                system=system,
-                max_iters=max_iters,
-                seed=seed,
-            )
-            result.rows.append(SweepRow(
+            result.add(SweepRow(
                 graph=graph_key,
                 app=app,
                 workload=workload,

@@ -1,0 +1,42 @@
+"""Execution layer: workload specs, pluggable executors, result cache.
+
+Separates *what* to simulate (:class:`WorkloadSpec`,
+:class:`ExecutionPlan` — frozen, hashable, digestible descriptions) from
+*how* it runs (:class:`SerialExecutor`, :class:`ParallelExecutor`) and
+*whether it needs to run at all* (:class:`ResultCache`).
+:func:`run_plan` ties the three together; ``repro.harness.sweep``, the
+CLI, and the benchmark drivers all execute through it.
+"""
+
+from .cache import ResultCache, default_cache_dir
+from .executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    execute_spec,
+    load_graph,
+    make_executor,
+    run_plan,
+)
+from .spec import (
+    RESULT_SCHEMA_VERSION,
+    ExecutionPlan,
+    GraphRef,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "RESULT_SCHEMA_VERSION",
+    "GraphRef",
+    "WorkloadSpec",
+    "ExecutionPlan",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+    "execute_spec",
+    "load_graph",
+    "run_plan",
+    "ResultCache",
+    "default_cache_dir",
+]

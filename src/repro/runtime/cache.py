@@ -1,0 +1,109 @@
+"""Content-addressed on-disk result cache.
+
+Entries are keyed by :meth:`WorkloadSpec.digest` — a SHA-256 over the
+spec's canonical JSON plus :data:`~repro.runtime.spec.RESULT_SCHEMA_VERSION`
+— so a repeated sweep, a benchmark re-run, or a resumed interrupted sweep
+skips every unit already simulated, while any change to the spec (graph
+seed, system parameters, iteration cap, ...) or to the result schema
+misses cleanly.  Each entry is one human-inspectable JSON file holding
+the spec alongside the result, written atomically (tmp + rename) so a
+killed sweep never leaves a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from ..harness.runner import WorkloadResult
+from .spec import WorkloadSpec
+
+__all__ = ["ResultCache", "default_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, or ``~/.cache/repro`` when unset."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+class ResultCache:
+    """Digest-keyed store of workload results under one directory."""
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self.directory = (Path(directory).expanduser() if directory
+                          else default_cache_dir())
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, spec: WorkloadSpec) -> Path:
+        """The entry file a spec addresses."""
+        return self.directory / f"{spec.digest()}.json"
+
+    def get(self, spec: WorkloadSpec) -> WorkloadResult | None:
+        """The cached result for ``spec``, or None.
+
+        Corrupt or schema-mismatched entries are treated as misses — the
+        next ``put`` overwrites them.
+        """
+        from .spec import RESULT_SCHEMA_VERSION
+
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != RESULT_SCHEMA_VERSION:
+                raise ValueError("schema mismatch")
+            result = WorkloadResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: WorkloadSpec, result: WorkloadResult) -> Path:
+        """Store ``result`` under ``spec``'s digest; returns the path."""
+        from .spec import RESULT_SCHEMA_VERSION
+
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": RESULT_SCHEMA_VERSION,
+            "digest": spec.digest(),
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                # No sort_keys: the result's configuration order is part
+                # of the payload (Figure 5 presentation order).
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for entry in self.directory.glob("*.json"):
+                entry.unlink(missing_ok=True)
+                removed += 1
+        return removed

@@ -1,0 +1,175 @@
+"""Pluggable executors: run workload specs serially or across processes.
+
+An :class:`Executor` turns workload specs into
+:class:`~repro.harness.runner.WorkloadResult` objects.  The serial
+executor runs in-process; the parallel executor fans units across a
+``ProcessPoolExecutor`` (workload-level parallelism — each unit is one
+``run_workload`` call) and streams completed units back as they finish.
+
+Graphs are rebuilt from their :class:`~repro.runtime.spec.GraphRef` and
+memoized per process, so a worker simulating six apps on one dataset
+generates that dataset once.  Results cross the process boundary as
+``to_dict`` payloads — the same representation the result cache stores —
+so both paths exercise one serialization format.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Callable, Iterator, Sequence
+
+from ..graph.csr import CSRGraph
+from ..harness import runner as _runner
+from ..harness.runner import WorkloadResult
+from .cache import ResultCache
+from .spec import ExecutionPlan, GraphRef, WorkloadSpec
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+    "execute_spec",
+    "load_graph",
+    "run_plan",
+]
+
+# Per-process memo of materialized graphs.  Bounded: a full sweep touches
+# six datasets, so a handful of entries covers the working set.
+_GRAPH_CACHE: OrderedDict[GraphRef, CSRGraph] = OrderedDict()
+_GRAPH_CACHE_LIMIT = 8
+
+
+def load_graph(ref: GraphRef) -> CSRGraph:
+    """Materialize ``ref``, memoized per process (LRU, small bound)."""
+    graph = _GRAPH_CACHE.get(ref)
+    if graph is None:
+        graph = ref.load()
+        _GRAPH_CACHE[ref] = graph
+        while len(_GRAPH_CACHE) > _GRAPH_CACHE_LIMIT:
+            _GRAPH_CACHE.popitem(last=False)
+    else:
+        _GRAPH_CACHE.move_to_end(ref)
+    return graph
+
+
+def execute_spec(spec: WorkloadSpec) -> WorkloadResult:
+    """Run one unit in this process (the executors' common kernel)."""
+    graph = load_graph(spec.graph)
+    result = _runner.run_workload(
+        spec.app,
+        graph,
+        configs=spec.configurations(),
+        system=spec.system,
+        max_iters=spec.max_iters,
+        seed=spec.seed,
+    )
+    return result
+
+
+def _worker_execute(payload: dict) -> dict:
+    """Process-pool entry point: spec dict in, result dict out."""
+    spec = WorkloadSpec.from_dict(payload)
+    return execute_spec(spec).to_dict()
+
+
+class Executor:
+    """Strategy interface: stream ``(position, result)`` pairs.
+
+    ``run`` yields one pair per spec, in any completion order;
+    ``position`` indexes into the ``specs`` sequence it was handed.
+    """
+
+    def run(
+        self, specs: Sequence[WorkloadSpec]
+    ) -> Iterator[tuple[int, WorkloadResult]]:
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """Run every unit in the calling process, in order."""
+
+    def run(
+        self, specs: Sequence[WorkloadSpec]
+    ) -> Iterator[tuple[int, WorkloadResult]]:
+        for index, spec in enumerate(specs):
+            yield index, execute_spec(spec)
+
+
+class ParallelExecutor(Executor):
+    """Fan units across worker processes; stream back as they complete.
+
+    Units and results cross the boundary as dicts (see module docstring),
+    so parallel results are bit-identical to serial ones after a
+    ``from_dict`` — which the runtime tests assert.
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs or os.cpu_count() or 1
+
+    def run(
+        self, specs: Sequence[WorkloadSpec]
+    ) -> Iterator[tuple[int, WorkloadResult]]:
+        import concurrent.futures as cf
+
+        workers = min(self.jobs, len(specs)) or 1
+        with cf.ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_worker_execute, spec.to_dict()): index
+                for index, spec in enumerate(specs)
+            }
+            for future in cf.as_completed(futures):
+                yield futures[future], WorkloadResult.from_dict(
+                    future.result())
+
+
+def make_executor(jobs: int | None = 1) -> Executor:
+    """``jobs`` <= 1 -> serial; otherwise a process pool of that width."""
+    if jobs is not None and jobs <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs)
+
+
+def run_plan(
+    plan: ExecutionPlan | Sequence[WorkloadSpec],
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+    executor: Executor | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> list[WorkloadResult]:
+    """Execute a plan; return results in plan order.
+
+    Cached units are restored without simulation; the rest run on
+    ``executor`` (built from ``jobs`` when not given) and are written
+    back to ``cache``.  ``progress`` receives one label per completed
+    unit, tagged ``(cached)`` for cache hits.
+    """
+    units = list(plan)
+    results: list[WorkloadResult | None] = [None] * len(units)
+
+    pending: list[int] = []
+    for index, spec in enumerate(units):
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            results[index] = hit
+            if progress is not None:
+                progress(f"{spec.label} (cached)")
+        else:
+            pending.append(index)
+
+    if pending:
+        if executor is None:
+            executor = make_executor(jobs)
+        batch = [units[index] for index in pending]
+        for position, result in executor.run(batch):
+            index = pending[position]
+            results[index] = result
+            if cache is not None:
+                cache.put(units[index], result)
+            if progress is not None:
+                progress(units[index].label)
+
+    return results  # type: ignore[return-value]

@@ -14,7 +14,7 @@ coherence, owning L1 for DeNovo).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from ..cache import OWNED, VALID, SetAssocCache
 from ..config import SystemConfig
@@ -37,6 +37,24 @@ class MemoryStats:
     ownership_registrations: int = 0
     acquires: int = 0
     extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-safe mapping of every counter (``extra`` copied)."""
+        data = {f.name: getattr(self, f.name) for f in fields(self)
+                if f.name != "extra"}
+        data["extra"] = dict(self.extra)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MemoryStats":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown MemoryStats fields: {sorted(unknown)}")
+        payload = dict(data)
+        payload["extra"] = dict(payload.get("extra", {}))
+        return cls(**payload)
 
 
 class _Ring:

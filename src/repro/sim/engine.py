@@ -53,6 +53,35 @@ class ExecutionResult:
         """Wall-clock milliseconds at the paper's 700 MHz GPU clock."""
         return self.cycles / 700e3  # 700 MHz -> cycles per ms
 
+    def to_dict(self) -> dict:
+        """JSON-safe representation (crosses process and cache boundaries).
+
+        ``memory_stats`` objects without a ``to_dict`` (e.g. test doubles)
+        are dropped rather than serialized.
+        """
+        stats = self.memory_stats
+        return {
+            "cycles": self.cycles,
+            "breakdown": self.breakdown.to_dict(),
+            "kernel_cycles": list(self.kernel_cycles),
+            "memory_stats": (stats.to_dict()
+                             if hasattr(stats, "to_dict") else None),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExecutionResult":
+        """Inverse of :meth:`to_dict`."""
+        from .coherence import MemoryStats
+
+        stats = data.get("memory_stats")
+        return cls(
+            cycles=float(data["cycles"]),
+            breakdown=StallBreakdown.from_dict(data["breakdown"]),
+            kernel_cycles=[float(c) for c in data.get("kernel_cycles", [])],
+            memory_stats=(MemoryStats.from_dict(stats)
+                          if stats is not None else None),
+        )
+
 
 class _Warp:
     __slots__ = ("ops", "pc", "sm", "tb", "reason", "store_drain",

@@ -61,3 +61,13 @@ class StallBreakdown:
     def add(self, category: str, amount: float) -> None:
         """Accumulate ``amount`` cycles into ``category``."""
         setattr(self, category, getattr(self, category) + amount)
+
+    def to_dict(self) -> dict:
+        """JSON-safe mapping of category -> cycles."""
+        return {name: getattr(self, name) for name in CATEGORIES}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StallBreakdown":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**{name: float(data.get(name, 0.0))
+                      for name in CATEGORIES})

@@ -3,6 +3,17 @@
 import numpy as np
 import pytest
 
+
+@pytest.fixture(autouse=True)
+def _hermetic_result_cache(tmp_path, monkeypatch):
+    """Point the default result cache at a per-test directory.
+
+    CLI commands cache results under ``$REPRO_CACHE_DIR`` (or
+    ``~/.cache/repro``) by default; tests must never read or pollute the
+    user's real cache.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+
 from repro.graph import (
     CSRGraph,
     DegreeDistribution,

@@ -1,0 +1,311 @@
+"""Tests for the repro.runtime execution layer.
+
+Covers the acceptance criteria of the runtime refactor: serial and
+process-pool executors produce bit-identical results, the result cache
+skips simulation on hits and misses cleanly on digest or schema changes,
+and every result type round-trips through ``to_dict``/``from_dict``.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.runner import WorkloadResult, run_workload
+from repro.harness.sweep import SweepResult, SweepRow, run_sweep
+from repro.runtime import (
+    ExecutionPlan,
+    GraphRef,
+    ResultCache,
+    SerialExecutor,
+    WorkloadSpec,
+    run_plan,
+)
+from repro.runtime import executor as executor_module
+from repro.sim.coherence import MemoryStats
+from repro.sim.config import SystemConfig, scaled_system
+from repro.sim.engine import ExecutionResult
+from repro.sim.stalls import StallBreakdown
+
+SMALL_SCALES = {"DCT": 64, "RAJ": 32}
+
+
+@pytest.fixture(scope="module")
+def small_system():
+    return SystemConfig(
+        num_sms=4,
+        l1_bytes=1024,
+        l2_bytes=16 * 1024,
+        tb_size=64,
+        max_tbs_per_sm=2,
+        kernel_launch_cycles=100,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_plan(small_system):
+    return ExecutionPlan.for_sweep(
+        ("DCT", "RAJ"), ("PR", "CC"),
+        max_iters=2,
+        scales=SMALL_SCALES,
+        base_system=small_system,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_results(small_plan):
+    return run_plan(small_plan, jobs=1)
+
+
+def _dicts(results):
+    return [r.to_dict() for r in results]
+
+
+class TestSpecs:
+    def test_dataset_ref_roundtrip(self):
+        ref = GraphRef.dataset("DCT", scale=64, seed=3)
+        assert GraphRef.from_dict(ref.to_dict()) == ref
+        assert ref.label == "DCT"
+
+    def test_dataset_ref_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            GraphRef(kind="dataset", source="NOPE")
+
+    def test_mtx_ref_fingerprints_content(self, tmp_path, small_random):
+        from repro.graph import save_mtx
+
+        path = tmp_path / "g.mtx"
+        save_mtx(small_random, path)
+        ref = GraphRef.mtx(path)
+        assert ref.fingerprint is not None
+        spec = WorkloadSpec.for_workload("PR", ref, max_iters=1)
+        digest = spec.digest()
+        # Editing the file changes the fingerprint, hence the digest.
+        path.write_text(path.read_text() + "\n")
+        ref2 = GraphRef.mtx(path)
+        spec2 = WorkloadSpec.for_workload("PR", ref2, max_iters=1)
+        assert spec2.digest() != digest
+
+    def test_spec_defaults_follow_traversal(self):
+        ref = GraphRef.dataset("DCT", scale=64)
+        static = WorkloadSpec.for_workload("PR", ref)
+        dynamic = WorkloadSpec.for_workload("CC", ref)
+        assert static.configs == ("TG0", "SG1", "SGR", "SD1", "SDR")
+        assert static.baseline == "TG0"
+        assert dynamic.configs == ("DG1", "DGR", "DD1", "DDR")
+        assert dynamic.baseline == "DG1"
+        assert static.system == scaled_system(64)
+
+    def test_spec_validation(self):
+        ref = GraphRef.dataset("DCT", scale=64)
+        with pytest.raises(ValueError, match="unknown application"):
+            WorkloadSpec.for_workload("BFS", ref)
+        with pytest.raises(ValueError, match="baseline"):
+            WorkloadSpec(app="PR", graph=ref, configs=("TG0",),
+                         baseline="SGR")
+        with pytest.raises(ValueError):
+            WorkloadSpec(app="PR", graph=ref, configs=("XYZ",),
+                         baseline="XYZ")
+
+    def test_spec_roundtrip_and_hashable(self, small_plan):
+        for spec in small_plan:
+            clone = WorkloadSpec.from_dict(
+                json.loads(json.dumps(spec.to_dict())))
+            assert clone == spec
+            assert hash(clone) == hash(spec)
+            assert clone.digest() == spec.digest()
+
+    def test_digest_sensitivity(self, small_plan):
+        spec = small_plan[0]
+        assert spec.digest() != small_plan[1].digest()
+        import dataclasses
+
+        reseeded = dataclasses.replace(spec, seed=spec.seed + 1)
+        assert reseeded.digest() != spec.digest()
+        capped = dataclasses.replace(spec, max_iters=3)
+        assert capped.digest() != spec.digest()
+
+    def test_digest_tracks_schema_version(self, small_plan, monkeypatch):
+        from repro.runtime import spec as spec_module
+
+        before = small_plan[0].digest()
+        monkeypatch.setattr(spec_module, "RESULT_SCHEMA_VERSION", 99)
+        assert small_plan[0].digest() != before
+
+    def test_plan_digest_is_order_sensitive(self, small_plan):
+        reversed_plan = ExecutionPlan(units=small_plan.units[::-1])
+        assert reversed_plan.digest() != small_plan.digest()
+
+
+class TestSerialization:
+    def test_stall_breakdown_roundtrip(self):
+        b = StallBreakdown(busy=1.5, comp=2.0, data=3.25, sync=0.5, idle=9.0)
+        clone = StallBreakdown.from_dict(json.loads(json.dumps(b.to_dict())))
+        assert clone == b
+
+    def test_memory_stats_roundtrip(self):
+        stats = MemoryStats(l1_hits=3, l2_misses=7, atomics=11,
+                            extra={"owned_writebacks": 2})
+        clone = MemoryStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+        assert clone == stats
+        with pytest.raises(ValueError, match="unknown"):
+            MemoryStats.from_dict({"bogus": 1})
+
+    def test_execution_result_roundtrip(self, serial_results):
+        for workload in serial_results:
+            for result in workload.results.values():
+                clone = ExecutionResult.from_dict(
+                    json.loads(json.dumps(result.to_dict())))
+                assert clone == result
+
+    def test_workload_result_roundtrip(self, serial_results):
+        for workload in serial_results:
+            clone = WorkloadResult.from_dict(
+                json.loads(json.dumps(workload.to_dict())))
+            assert clone == workload
+            assert list(clone.results) == list(workload.results)
+            assert clone.baseline == workload.baseline
+
+    def test_run_workload_sets_explicit_baseline(self, small_random,
+                                                 tiny_system):
+        result = run_workload("PR", small_random, system=tiny_system,
+                              max_iters=1)
+        assert result.baseline == "TG0"
+        # The baseline survives dict reordering: normalized() keys off the
+        # explicit field, not insertion order.
+        reordered = WorkloadResult(
+            app=result.app,
+            graph_name=result.graph_name,
+            results=dict(reversed(result.results.items())),
+            baseline=result.baseline,
+        )
+        assert reordered.normalized()["TG0"] == pytest.approx(1.0)
+
+
+class TestExecutors:
+    def test_parallel_matches_serial_bit_identical(self, small_plan,
+                                                   serial_results):
+        parallel = run_plan(small_plan, jobs=2)
+        assert _dicts(parallel) == _dicts(serial_results)
+
+    def test_explicit_executor_wins_over_jobs(self, small_plan,
+                                              serial_results, monkeypatch):
+        calls = []
+        real = executor_module.execute_spec
+
+        def counting(spec):
+            calls.append(spec.label)
+            return real(spec)
+
+        monkeypatch.setattr(executor_module, "execute_spec", counting)
+        results = run_plan(small_plan, jobs=8, executor=SerialExecutor())
+        assert len(calls) == len(small_plan)
+        assert _dicts(results) == _dicts(serial_results)
+
+    def test_jobs_must_be_positive(self):
+        from repro.runtime import ParallelExecutor
+
+        with pytest.raises(ValueError):
+            ParallelExecutor(0)
+
+
+class TestResultCache:
+    def test_hit_skips_simulation(self, small_plan, serial_results,
+                                  tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        first = run_plan(small_plan, jobs=1, cache=cache)
+        assert cache.stores == len(small_plan)
+        assert len(cache) == len(small_plan)
+
+        def boom(spec):  # pragma: no cover - must never run
+            raise AssertionError("cache hit should skip simulation")
+
+        monkeypatch.setattr(executor_module, "execute_spec", boom)
+        second = run_plan(small_plan, jobs=1, cache=cache)
+        assert cache.hits == len(small_plan)
+        assert _dicts(second) == _dicts(first) == _dicts(serial_results)
+
+    def test_digest_change_invalidates(self, small_plan, tmp_path):
+        import dataclasses
+
+        cache = ResultCache(tmp_path / "cache")
+        spec = small_plan[0]
+        run_plan([spec], cache=cache)
+        assert cache.get(spec) is not None
+        reseeded = dataclasses.replace(spec, seed=spec.seed + 1)
+        assert cache.get(reseeded) is None
+
+    def test_schema_bump_invalidates(self, small_plan, tmp_path,
+                                     monkeypatch):
+        from repro.runtime import spec as spec_module
+
+        cache = ResultCache(tmp_path / "cache")
+        spec = small_plan[0]
+        run_plan([spec], cache=cache)
+        monkeypatch.setattr(spec_module, "RESULT_SCHEMA_VERSION", 99)
+        assert cache.get(spec) is None
+
+    def test_corrupt_entry_is_a_miss(self, small_plan, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = small_plan[0]
+        run_plan([spec], cache=cache)
+        cache.path_for(spec).write_text("{not json")
+        assert cache.get(spec) is None
+
+    def test_entry_is_inspectable_json(self, small_plan, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = small_plan[0]
+        run_plan([spec], cache=cache)
+        payload = json.loads(cache.path_for(spec).read_text())
+        assert payload["digest"] == spec.digest()
+        assert payload["spec"] == spec.to_dict()
+        assert WorkloadSpec.from_dict(payload["spec"]) == spec
+
+    def test_clear(self, small_plan, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_plan([small_plan[0]], cache=cache)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestSweepIntegration:
+    def test_sweep_parallel_and_warm_cache_match_serial(self, tmp_path,
+                                                        monkeypatch):
+        kwargs = dict(
+            graphs=("DCT", "RAJ"),
+            apps=("PR", "CC"),
+            max_iters=2,
+            scales=SMALL_SCALES,
+        )
+        serial = run_sweep(**kwargs)
+        cache_dir = tmp_path / "cache"
+        parallel = run_sweep(jobs=2, cache=cache_dir, **kwargs)
+
+        def rows_dict(sweep):
+            return [(r.graph, r.app, r.predicted, r.predicted_partial,
+                     r.workload.to_dict()) for r in sweep.rows]
+
+        assert rows_dict(parallel) == rows_dict(serial)
+
+        def boom(spec):  # pragma: no cover - must never run
+            raise AssertionError("warm cache must not simulate")
+
+        monkeypatch.setattr(executor_module, "execute_spec", boom)
+        warm = run_sweep(jobs=1, cache=cache_dir, **kwargs)
+        assert rows_dict(warm) == rows_dict(serial)
+
+    def test_sweep_row_index_tracks_direct_appends(self, serial_results):
+        sweep = SweepResult()
+        first = serial_results[0]
+        sweep.rows.append(SweepRow(
+            graph="DCT", app=first.app, workload=first,
+            predicted="SGR", predicted_partial="SGR",
+        ))
+        assert sweep.row("DCT", first.app).workload is first
+        second = serial_results[1]
+        sweep.rows.append(SweepRow(
+            graph="DCT", app=second.app, workload=second,
+            predicted="DGR", predicted_partial="DGR",
+        ))
+        assert sweep.row("DCT", second.app).workload is second
+        with pytest.raises(KeyError, match="no row"):
+            sweep.row("DCT", "XX")
