@@ -16,6 +16,14 @@ Table IV machine).
 results are memoized per workload in a content-addressed cache
 (``--cache-dir DIR``, ``--no-cache``), and ``sweep --jobs N`` fans
 workloads across N worker processes.
+
+Execution is fault tolerant: failing workloads are retried
+(``--retries``), optionally bounded by a per-workload wall-clock
+``--timeout``.  Under ``--keep-going`` (the default) a sweep completes
+with the failed workloads reported separately (exit status 1);
+``--fail-fast`` aborts on the first workload that exhausts its retries.
+``--manifest PATH`` journals every outcome to a JSON-lines file as it
+happens, so an interrupted sweep resumes from cache + manifest.
 """
 
 from __future__ import annotations
@@ -29,7 +37,15 @@ from .graph.builders import normalize
 from .graph.generators import attach_random_weights
 from .harness import render_breakdown_bars, render_table
 from .model import explain_prediction, predict_configuration
-from .runtime import GraphRef, ResultCache, WorkloadSpec, run_plan
+from .runtime import (
+    GraphRef,
+    ResultCache,
+    RetryPolicy,
+    UnitExecutionError,
+    UnitFailure,
+    WorkloadSpec,
+    run_plan,
+)
 from .sim.config import DEFAULT_SYSTEM, scaled_system
 from .taxonomy import APP_PROPERTIES, profile_graph, profile_workload
 
@@ -58,6 +74,33 @@ def _resolve_cache(args) -> ResultCache | None:
     if args.no_cache:
         return None
     return ResultCache(args.cache_dir)
+
+
+def _resolve_policy(args) -> RetryPolicy | None:
+    """A retry policy when the flags override the defaults, else None."""
+    if args.retries is None and args.timeout is None:
+        return None
+    defaults = RetryPolicy()
+    return RetryPolicy(
+        max_attempts=args.retries if args.retries is not None
+        else defaults.max_attempts,
+        timeout=args.timeout,
+    )
+
+
+def _fault_kwargs(args) -> dict:
+    """run_plan/run_sweep keywords selected by the fault-tolerance flags."""
+    return {
+        "policy": _resolve_policy(args),
+        "keep_going": args.keep_going,
+        "manifest": args.manifest,
+    }
+
+
+def _print_failure(failure: UnitFailure) -> None:
+    print(f"failed: {failure.label}: [{failure.kind}] {failure.exception} "
+          f"after {failure.attempts} attempt(s): {failure.message}",
+          file=sys.stderr)
 
 
 def _profile_for(graph, scale):
@@ -120,7 +163,15 @@ def _cmd_run(args) -> int:
         system=scaled_system(ref.scale),
         max_iters=args.iters,
     )
-    result = run_plan([spec], cache=_resolve_cache(args))[0]
+    try:
+        result = run_plan([spec], cache=_resolve_cache(args),
+                          **_fault_kwargs(args))[0]
+    except UnitExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if isinstance(result, UnitFailure):
+        _print_failure(result)
+        return 1
     print(f"{spec.app} on {result.graph_name}: normalized execution time")
     for code, value in result.normalized().items():
         print(render_breakdown_bars(
@@ -132,12 +183,17 @@ def _cmd_run(args) -> int:
 def _cmd_sweep(args) -> int:
     from .harness import flexibility_stats, format_pct, run_sweep
 
-    sweep = run_sweep(
-        max_iters=args.iters,
-        jobs=args.jobs,
-        cache=_resolve_cache(args),
-        progress=lambda label: print(f"  {label}", flush=True),
-    )
+    try:
+        sweep = run_sweep(
+            max_iters=args.iters,
+            jobs=args.jobs,
+            cache=_resolve_cache(args),
+            progress=lambda label: print(f"  {label}", flush=True),
+            **_fault_kwargs(args),
+        )
+    except UnitExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     rows = [{
         "Workload": f"{r.app}-{r.graph}",
         "Best": r.best,
@@ -150,6 +206,12 @@ def _cmd_sweep(args) -> int:
     print(f"\nmodel exact: {sweep.exact_predictions}/{len(sweep.rows)}; "
           f"default loses on {stats.default_losses} workloads "
           f"(avg reduction {format_pct(stats.avg_reduction)})")
+    if sweep.failures:
+        print(f"\n{len(sweep.failures)} workload(s) failed:",
+              file=sys.stderr)
+        for failure in sweep.failures:
+            _print_failure(failure)
+        return 1
     return 0
 
 
@@ -178,7 +240,28 @@ def build_parser() -> argparse.ArgumentParser:
                              help="simulate everything; skip the result "
                                   "cache")
 
-    p_run = sub.add_parser("run", parents=[cache_flags],
+    fault_flags = argparse.ArgumentParser(add_help=False)
+    mode = fault_flags.add_mutually_exclusive_group()
+    mode.add_argument("--keep-going", dest="keep_going",
+                      action="store_true", default=True,
+                      help="finish the batch even if workloads fail; "
+                           "report failures separately (default)")
+    mode.add_argument("--fail-fast", dest="keep_going",
+                      action="store_false",
+                      help="abort on the first workload that exhausts "
+                           "its retries")
+    fault_flags.add_argument("--retries", type=int, default=None,
+                             metavar="N",
+                             help="attempts per workload (default 3)")
+    fault_flags.add_argument("--timeout", type=float, default=None,
+                             metavar="SECONDS",
+                             help="per-workload wall-clock limit "
+                                  "(default: none)")
+    fault_flags.add_argument("--manifest", default=None, metavar="PATH",
+                             help="append per-workload outcomes to this "
+                                  "JSON-lines journal (resume aid)")
+
+    p_run = sub.add_parser("run", parents=[cache_flags, fault_flags],
                            help="simulate one workload")
     p_run.add_argument("graph")
     p_run.add_argument("app")
@@ -187,7 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--iters", type=int, default=None,
                        help="cap simulated iterations")
 
-    p_sweep = sub.add_parser("sweep", parents=[cache_flags],
+    p_sweep = sub.add_parser("sweep", parents=[cache_flags, fault_flags],
                              help="full 36-workload sweep (slow)")
     p_sweep.add_argument("--iters", type=int, default=None)
     p_sweep.add_argument("--jobs", type=int, default=1,

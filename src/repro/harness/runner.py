@@ -27,6 +27,16 @@ class WorkloadResult:
     results: dict[str, ExecutionResult] = field(default_factory=dict)
     baseline: str | None = None
 
+    @property
+    def ok(self) -> bool:
+        """True: this is a successful outcome.
+
+        Mixed outcome lists from ``run_plan`` (results interleaved with
+        ``UnitFailure`` records, whose ``ok`` is False) partition on
+        this flag without isinstance checks.
+        """
+        return True
+
     def cycles(self, code: str) -> float:
         """Execution cycles of one configuration."""
         return self.results[code].cycles

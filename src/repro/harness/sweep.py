@@ -19,7 +19,16 @@ from typing import Callable, Iterable
 
 from ..graph.datasets import DEFAULT_SIM_SCALE
 from ..model import predict_configuration, predict_partial_configuration
-from ..runtime import ExecutionPlan, ResultCache, load_graph, run_plan
+from ..runtime import (
+    ExecutionPlan,
+    FaultInjector,
+    ResultCache,
+    RetryPolicy,
+    RunManifest,
+    UnitFailure,
+    load_graph,
+    run_plan,
+)
 from ..sim.config import DEFAULT_SYSTEM, SystemConfig
 from ..taxonomy import profile_graph, profile_workload
 from .runner import WorkloadResult
@@ -68,10 +77,23 @@ class SweepRow:
 
 @dataclass
 class SweepResult:
-    """All rows of a sweep plus convenient aggregates."""
+    """All rows of a sweep plus convenient aggregates.
+
+    Under ``keep_going`` (the default) a sweep degrades gracefully:
+    workloads that exhausted their retry budget are reported in
+    ``failures`` (one :class:`~repro.runtime.UnitFailure` each) and
+    simply have no row, so every aggregate is computed over the units
+    that actually completed.
+    """
 
     rows: list = field(default_factory=list)
+    failures: list = field(default_factory=list)
     _index: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @property
+    def complete(self) -> bool:
+        """Did every planned workload produce a row?"""
+        return not self.failures
 
     def add(self, row: SweepRow) -> None:
         """Append a row, keeping the lookup index current."""
@@ -128,6 +150,10 @@ def run_sweep(
     progress: Callable[[str], None] | None = None,
     jobs: int | None = 1,
     cache: ResultCache | str | Path | None = None,
+    policy: RetryPolicy | None = None,
+    injector: FaultInjector | None = None,
+    keep_going: bool = True,
+    manifest: RunManifest | str | Path | None = None,
 ) -> SweepResult:
     """Run the full evaluation sweep.
 
@@ -140,6 +166,15 @@ def run_sweep(
     ``cache`` (a :class:`ResultCache` or a directory path) skips units
     whose results are already on disk.  Both paths produce results
     identical to the serial, uncached sweep.
+
+    Failure semantics (see :func:`repro.runtime.run_plan`): units retry
+    per ``policy``; under ``keep_going`` (default) a sweep with failed
+    units still returns, reporting them in ``SweepResult.failures``,
+    while ``keep_going=False`` raises
+    :class:`~repro.runtime.UnitExecutionError` on the first terminal
+    failure.  ``manifest`` journals outcomes incrementally so an
+    interrupted sweep resumes from cache + manifest, re-simulating only
+    what is missing or failed.
     """
     graphs = tuple(graphs)
     apps = tuple(apps)
@@ -157,6 +192,10 @@ def run_sweep(
         jobs=jobs,
         cache=_resolve_cache(cache),
         progress=progress,
+        policy=policy,
+        injector=injector,
+        keep_going=keep_going,
+        manifest=manifest,
     )
 
     result = SweepResult()
@@ -166,6 +205,9 @@ def run_sweep(
         graph_profile = None
         for app in apps:
             spec, workload = next(units)
+            if isinstance(workload, UnitFailure):
+                result.failures.append(workload)
+                continue
             if graph_profile is None:
                 graph_profile = profile_graph(
                     load_graph(spec.graph),

@@ -6,6 +6,13 @@ Separates *what* to simulate (:class:`WorkloadSpec`,
 *whether it needs to run at all* (:class:`ResultCache`).
 :func:`run_plan` ties the three together; ``repro.harness.sweep``, the
 CLI, and the benchmark drivers all execute through it.
+
+Execution is fault tolerant: failing units retry under a
+:class:`RetryPolicy`, terminal failures surface as structured
+:class:`UnitFailure` records instead of aborting the batch
+(``keep_going``), every outcome can be journaled to a
+:class:`RunManifest` for resumable sweeps, and a deterministic
+:class:`FaultInjector` exercises each recovery path in tests.
 """
 
 from .cache import ResultCache, default_cache_dir
@@ -17,7 +24,21 @@ from .executor import (
     load_graph,
     make_executor,
     run_plan,
+    run_unit,
 )
+from .faults import (
+    FaultInjector,
+    FaultRule,
+    InjectedCrashError,
+    InjectedFaultError,
+    InjectedTransientError,
+    UnitExecutionError,
+    UnitFailure,
+    UnitTimeoutError,
+    failure_kind,
+)
+from .manifest import RunManifest
+from .retry import RetryPolicy
 from .spec import (
     RESULT_SCHEMA_VERSION,
     ExecutionPlan,
@@ -35,8 +56,20 @@ __all__ = [
     "ParallelExecutor",
     "make_executor",
     "execute_spec",
+    "run_unit",
     "load_graph",
     "run_plan",
     "ResultCache",
     "default_cache_dir",
+    "RetryPolicy",
+    "RunManifest",
+    "FaultInjector",
+    "FaultRule",
+    "InjectedFaultError",
+    "InjectedTransientError",
+    "InjectedCrashError",
+    "UnitExecutionError",
+    "UnitFailure",
+    "UnitTimeoutError",
+    "failure_kind",
 ]

@@ -40,6 +40,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
 
     def path_for(self, spec: WorkloadSpec) -> Path:
         """The entry file a spec addresses."""
@@ -48,8 +49,11 @@ class ResultCache:
     def get(self, spec: WorkloadSpec) -> WorkloadResult | None:
         """The cached result for ``spec``, or None.
 
-        Corrupt or schema-mismatched entries are treated as misses — the
-        next ``put`` overwrites them.
+        Corrupt or schema-mismatched entries are treated as misses and
+        deleted (self-healing): the digest embeds the schema version, so
+        any unparseable payload *at this path* is garbage — a truncated
+        write from a killed process or bit rot — never a legitimate
+        entry of another version.
         """
         from .spec import RESULT_SCHEMA_VERSION
 
@@ -59,8 +63,13 @@ class ResultCache:
             if payload.get("schema") != RESULT_SCHEMA_VERSION:
                 raise ValueError("schema mismatch")
             result = WorkloadResult.from_dict(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except OSError:
             self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError):
+            self.misses += 1
+            self.corrupt += 1
+            path.unlink(missing_ok=True)
             return None
         self.hits += 1
         return result
@@ -100,10 +109,17 @@ class ResultCache:
         return sum(1 for _ in self.directory.glob("*.json"))
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry; returns how many were removed.
+
+        Also sweeps stray ``*.tmp`` files (staged writes orphaned by a
+        kill at exactly the wrong moment); those do not count toward the
+        returned total.
+        """
         removed = 0
         if self.directory.is_dir():
             for entry in self.directory.glob("*.json"):
                 entry.unlink(missing_ok=True)
                 removed += 1
+            for stray in self.directory.glob("*.tmp"):
+                stray.unlink(missing_ok=True)
         return removed

@@ -6,6 +6,20 @@ executor runs in-process; the parallel executor fans units across a
 ``ProcessPoolExecutor`` (workload-level parallelism — each unit is one
 ``run_workload`` call) and streams completed units back as they finish.
 
+Both executors are fault tolerant: a failing unit is retried under a
+:class:`~repro.runtime.retry.RetryPolicy` (exponential backoff with
+deterministic jitter, optional per-unit wall-clock timeout) and, when
+its budget runs out, surfaces as a structured
+:class:`~repro.runtime.faults.UnitFailure` *in the result stream*
+instead of an exception that aborts the batch.  The parallel executor
+additionally survives worker-process death (``BrokenProcessPool``): it
+respawns the pool, requeues the victims one at a time (probation — a
+repeat crash then charges only the guilty spec), and quarantines a spec
+that keeps killing workers once its attempts are spent.  Hung workers are
+handled the only way a process pool allows — the whole pool is recycled
+and innocent in-flight units are resubmitted without being charged an
+attempt.
+
 Graphs are rebuilt from their :class:`~repro.runtime.spec.GraphRef` and
 memoized per process, so a worker simulating six apps on one dataset
 generates that dataset once.  Results cross the process boundary as
@@ -15,14 +29,26 @@ so both paths exercise one serialization format.
 
 from __future__ import annotations
 
+import concurrent.futures as cf
+import logging
 import os
-from collections import OrderedDict
+import time
+from collections import OrderedDict, deque
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterator, Sequence
 
 from ..graph.csr import CSRGraph
 from ..harness import runner as _runner
 from ..harness.runner import WorkloadResult
 from .cache import ResultCache
+from .faults import (
+    FaultInjector,
+    UnitExecutionError,
+    UnitFailure,
+    UnitTimeoutError,
+)
+from .manifest import RunManifest
+from .retry import RetryPolicy
 from .spec import ExecutionPlan, GraphRef, WorkloadSpec
 
 __all__ = [
@@ -31,9 +57,12 @@ __all__ = [
     "ParallelExecutor",
     "make_executor",
     "execute_spec",
+    "run_unit",
     "load_graph",
     "run_plan",
 ]
+
+_log = logging.getLogger(__name__)
 
 # Per-process memo of materialized graphs.  Bounded: a full sweep touches
 # six datasets, so a handful of entries covers the working set.
@@ -68,33 +97,132 @@ def execute_spec(spec: WorkloadSpec) -> WorkloadResult:
     return result
 
 
+def run_unit(
+    spec: WorkloadSpec,
+    policy: RetryPolicy | None = None,
+    injector: FaultInjector | None = None,
+    execute: Callable[[WorkloadSpec], WorkloadResult] | None = None,
+) -> WorkloadResult | UnitFailure:
+    """Run one unit in-process with retry/backoff; never raises for it.
+
+    Returns the result, or a :class:`UnitFailure` once the policy's
+    attempts are exhausted.  In-process execution cannot be preempted,
+    so the wall-clock timeout is detected *after* an attempt finishes
+    here; the process-pool executor enforces it preemptively.
+    """
+    policy = policy or RetryPolicy()
+    started = time.monotonic()
+    failure: UnitFailure | None = None
+    for attempt in range(1, policy.max_attempts + 1):
+        if attempt > 1:
+            time.sleep(policy.delay_for(attempt - 1, spec.digest()))
+        attempt_started = time.monotonic()
+        try:
+            if injector is not None:
+                injector.before_execute(spec, attempt, in_worker=False)
+            result = (execute or execute_spec)(spec)
+            elapsed = time.monotonic() - attempt_started
+            if policy.timeout is not None and elapsed > policy.timeout:
+                raise UnitTimeoutError(
+                    f"{spec.label} took {elapsed:.3f}s "
+                    f"(budget {policy.timeout:g}s)")
+        except Exception as exc:
+            failure = UnitFailure.from_exception(
+                spec, exc, attempts=attempt,
+                elapsed=time.monotonic() - started)
+            continue
+        return result
+    return failure
+
+
 def _worker_execute(payload: dict) -> dict:
-    """Process-pool entry point: spec dict in, result dict out."""
-    spec = WorkloadSpec.from_dict(payload)
+    """Process-pool entry point: spec dict in, result dict out.
+
+    The payload also carries the attempt number, the retry backoff delay
+    (slept worker-side so the manager loop never blocks on a backoff),
+    and the fault injector — which must act *inside* the worker so an
+    injected crash kills a real process.
+    """
+    delay = payload.get("delay") or 0.0
+    if delay > 0:
+        time.sleep(delay)
+    spec = WorkloadSpec.from_dict(payload["spec"])
+    injector_data = payload.get("injector")
+    if injector_data is not None:
+        injector = FaultInjector.from_dict(injector_data)
+        injector.before_execute(spec, payload.get("attempt", 1),
+                                in_worker=True)
     return execute_spec(spec).to_dict()
 
 
+def _kill_pool(pool: cf.ProcessPoolExecutor) -> None:
+    """Best-effort immediate teardown: terminate workers, drop the queue.
+
+    Used when a worker hangs past its deadline or the run is interrupted
+    (Ctrl-C, generator close) — ``shutdown`` alone would wait forever on
+    a hung worker and leak processes on interrupt.
+    """
+    processes = list(getattr(pool, "_processes", {}).values())
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - platform-specific races
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - already broken pools
+        pass
+    for process in processes:
+        try:
+            process.join(timeout=1.0)
+        except Exception:  # pragma: no cover
+            pass
+
+
 class Executor:
-    """Strategy interface: stream ``(position, result)`` pairs.
+    """Strategy interface: stream ``(position, outcome)`` pairs.
 
     ``run`` yields one pair per spec, in any completion order;
-    ``position`` indexes into the ``specs`` sequence it was handed.
+    ``position`` indexes into the ``specs`` sequence it was handed and
+    ``outcome`` is a :class:`WorkloadResult` or, for a unit that
+    exhausted its retries, a :class:`UnitFailure`.
     """
 
     def run(
         self, specs: Sequence[WorkloadSpec]
-    ) -> Iterator[tuple[int, WorkloadResult]]:
+    ) -> Iterator[tuple[int, WorkloadResult | UnitFailure]]:
         raise NotImplementedError
 
 
 class SerialExecutor(Executor):
     """Run every unit in the calling process, in order."""
 
+    def __init__(self, policy: RetryPolicy | None = None,
+                 injector: FaultInjector | None = None) -> None:
+        self.policy = policy
+        self.injector = injector
+
     def run(
         self, specs: Sequence[WorkloadSpec]
-    ) -> Iterator[tuple[int, WorkloadResult]]:
+    ) -> Iterator[tuple[int, WorkloadResult | UnitFailure]]:
         for index, spec in enumerate(specs):
-            yield index, execute_spec(spec)
+            yield index, run_unit(spec, policy=self.policy,
+                                  injector=self.injector)
+
+
+class _Unit:
+    """Book-keeping for one spec moving through the parallel manager."""
+
+    __slots__ = ("position", "spec", "attempt", "first_started",
+                 "deadline", "pool")
+
+    def __init__(self, position: int, spec: WorkloadSpec) -> None:
+        self.position = position
+        self.spec = spec
+        self.attempt = 1
+        self.first_started: float | None = None
+        self.deadline: float | None = None
+        self.pool: object | None = None
 
 
 class ParallelExecutor(Executor):
@@ -102,35 +230,188 @@ class ParallelExecutor(Executor):
 
     Units and results cross the boundary as dicts (see module docstring),
     so parallel results are bit-identical to serial ones after a
-    ``from_dict`` — which the runtime tests assert.
+    ``from_dict`` — which the runtime tests assert.  At most ``jobs``
+    units are in flight at once, so a submit time approximates a start
+    time and per-unit deadlines are meaningful.
     """
 
-    def __init__(self, jobs: int | None = None) -> None:
+    def __init__(self, jobs: int | None = None,
+                 policy: RetryPolicy | None = None,
+                 injector: FaultInjector | None = None) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs or os.cpu_count() or 1
+        self.policy = policy
+        self.injector = injector
 
     def run(
         self, specs: Sequence[WorkloadSpec]
-    ) -> Iterator[tuple[int, WorkloadResult]]:
-        import concurrent.futures as cf
-
+    ) -> Iterator[tuple[int, WorkloadResult | UnitFailure]]:
+        policy = self.policy or RetryPolicy()
+        injector_payload = (self.injector.to_dict()
+                            if self.injector is not None else None)
         workers = min(self.jobs, len(specs)) or 1
-        with cf.ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_worker_execute, spec.to_dict()): index
-                for index, spec in enumerate(specs)
+        pending: deque[_Unit] = deque(
+            _Unit(position, spec) for position, spec in enumerate(specs))
+        inflight: dict[cf.Future, _Unit] = {}
+        pool = cf.ProcessPoolExecutor(max_workers=workers)
+        # After a worker crash every in-flight future breaks, so blame
+        # cannot be pinned on one spec.  Probation serializes the next
+        # submissions (one unit in flight) until something completes, so
+        # a repeat crash charges only the guilty spec instead of
+        # bleeding innocent units' retry budgets dry.
+        probe = False
+
+        def submit(unit: _Unit) -> None:
+            nonlocal pool
+            now = time.monotonic()
+            if unit.first_started is None:
+                unit.first_started = now
+            delay = (policy.delay_for(unit.attempt - 1, unit.spec.digest())
+                     if unit.attempt > 1 else 0.0)
+            payload = {
+                "spec": unit.spec.to_dict(),
+                "attempt": unit.attempt,
+                "delay": delay,
+                "injector": injector_payload,
             }
-            for future in cf.as_completed(futures):
-                yield futures[future], WorkloadResult.from_dict(
-                    future.result())
+            try:
+                future = pool.submit(_worker_execute, payload)
+            except (BrokenProcessPool, RuntimeError):
+                # Pool died between rounds; recycle once and retry.
+                _kill_pool(pool)
+                pool = cf.ProcessPoolExecutor(max_workers=workers)
+                future = pool.submit(_worker_execute, payload)
+            unit.deadline = (now + delay + policy.timeout
+                             if policy.timeout is not None else None)
+            unit.pool = pool
+            inflight[future] = unit
+
+        def settle(unit: _Unit,
+                   exception: BaseException) -> UnitFailure | None:
+            """Requeue for another attempt, or build the unit's failure."""
+            unit.pool = None
+            if unit.attempt < policy.max_attempts:
+                unit.attempt += 1
+                unit.deadline = None
+                pending.append(unit)
+                return None
+            elapsed = time.monotonic() - (unit.first_started or 0.0)
+            return UnitFailure.from_exception(
+                unit.spec, exception, attempts=unit.attempt,
+                elapsed=elapsed)
+
+        try:
+            while pending or inflight:
+                limit = 1 if probe else workers
+                while pending and len(inflight) < limit:
+                    submit(pending.popleft())
+
+                deadlines = [unit.deadline for unit in inflight.values()
+                             if unit.deadline is not None]
+                wait_for = (max(0.0, min(deadlines) - time.monotonic())
+                            if deadlines else None)
+                done, _ = cf.wait(set(inflight), timeout=wait_for,
+                                  return_when=cf.FIRST_COMPLETED)
+
+                ready: list[tuple[int, WorkloadResult | UnitFailure]] = []
+                crashed = False
+                for future in done:
+                    unit = inflight.pop(future)
+                    exception = future.exception()
+                    if exception is None:
+                        unit.pool = None
+                        probe = False
+                        ready.append((unit.position,
+                                      WorkloadResult.from_dict(
+                                          future.result())))
+                        continue
+                    # Only a break of the *current* pool needs a respawn;
+                    # stale futures from an already-replaced pool resolve
+                    # broken too, but their pool is long gone.
+                    if (isinstance(exception, BrokenProcessPool)
+                            and unit.pool is pool):
+                        crashed = True
+                    outcome = settle(unit, exception)
+                    if outcome is not None:
+                        ready.append((unit.position, outcome))
+
+                now = time.monotonic()
+                overdue = any(
+                    unit.deadline is not None and now >= unit.deadline
+                    for unit in inflight.values())
+                if overdue:
+                    # A hung worker cannot be cancelled one-off; recycle
+                    # the whole pool.  Classify *before* the kill — the
+                    # kill itself breaks every other in-flight future —
+                    # and resubmit innocent victims without charging
+                    # them an attempt.
+                    victims, inflight = inflight, {}
+                    requeue: list[_Unit] = []
+                    for future, unit in victims.items():
+                        if future.done():
+                            exception = future.exception()
+                            if exception is None:
+                                unit.pool = None
+                                probe = False
+                                ready.append((unit.position,
+                                              WorkloadResult.from_dict(
+                                                  future.result())))
+                            else:
+                                outcome = settle(unit, exception)
+                                if outcome is not None:
+                                    ready.append((unit.position, outcome))
+                        elif (unit.deadline is not None
+                              and now >= unit.deadline):
+                            outcome = settle(unit, UnitTimeoutError(
+                                f"{unit.spec.label} exceeded the "
+                                f"{policy.timeout:g}s wall-clock limit "
+                                f"(attempt {unit.attempt})"))
+                            if outcome is not None:
+                                ready.append((unit.position, outcome))
+                        else:
+                            unit.pool = None
+                            unit.deadline = None
+                            requeue.append(unit)
+                    _kill_pool(pool)
+                    pool = cf.ProcessPoolExecutor(max_workers=workers)
+                    pending.extendleft(reversed(requeue))
+                elif crashed:
+                    # Worker death poisons the executor; replace it.  Its
+                    # other in-flight futures are already failed by the
+                    # pool machinery and resolve as BrokenProcessPool on
+                    # the next pass through this loop.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = cf.ProcessPoolExecutor(max_workers=workers)
+                    probe = True
+
+                for item in ready:
+                    yield item
+        finally:
+            if pending or inflight:
+                # Interrupted mid-run (Ctrl-C / generator close): cancel
+                # queued futures and terminate workers instead of
+                # leaking them.
+                _kill_pool(pool)
+            else:
+                pool.shutdown(wait=True)
 
 
-def make_executor(jobs: int | None = 1) -> Executor:
+def make_executor(jobs: int | None = 1,
+                  policy: RetryPolicy | None = None,
+                  injector: FaultInjector | None = None) -> Executor:
     """``jobs`` <= 1 -> serial; otherwise a process pool of that width."""
     if jobs is not None and jobs <= 1:
-        return SerialExecutor()
-    return ParallelExecutor(jobs)
+        return SerialExecutor(policy=policy, injector=injector)
+    return ParallelExecutor(jobs, policy=policy, injector=injector)
+
+
+def _as_manifest(
+    manifest: RunManifest | str | os.PathLike | None,
+) -> RunManifest | None:
+    if manifest is None or isinstance(manifest, RunManifest):
+        return manifest
+    return RunManifest(manifest)
 
 
 def run_plan(
@@ -139,22 +420,41 @@ def run_plan(
     cache: ResultCache | None = None,
     executor: Executor | None = None,
     progress: Callable[[str], None] | None = None,
-) -> list[WorkloadResult]:
-    """Execute a plan; return results in plan order.
+    policy: RetryPolicy | None = None,
+    injector: FaultInjector | None = None,
+    keep_going: bool = True,
+    manifest: RunManifest | str | os.PathLike | None = None,
+) -> list[WorkloadResult | UnitFailure]:
+    """Execute a plan; return outcomes in plan order.
 
     Cached units are restored without simulation; the rest run on
-    ``executor`` (built from ``jobs`` when not given) and are written
-    back to ``cache``.  ``progress`` receives one label per completed
-    unit, tagged ``(cached)`` for cache hits.
+    ``executor`` (built from ``jobs``/``policy``/``injector`` when not
+    given) and are written back to ``cache``.  ``progress`` receives one
+    label per completed unit, tagged ``(cached)`` for cache hits and
+    ``(failed: <kind>)`` for failures.
+
+    Failure semantics: each unit is retried per ``policy`` (default: 3
+    attempts, exponential backoff).  Under ``keep_going`` (the default)
+    a unit that exhausts its budget occupies its plan slot as a
+    :class:`UnitFailure` and the rest of the plan still runs; with
+    ``keep_going=False`` the first terminal failure raises
+    :class:`UnitExecutionError` and outstanding work is cancelled.  A
+    failed ``cache.put`` (read-only directory, disk full) logs a warning
+    and continues — losing memoization, never results.  ``manifest``
+    (a :class:`RunManifest` or path) journals every outcome
+    incrementally, so an interrupted sweep resumes from cache + manifest.
     """
     units = list(plan)
-    results: list[WorkloadResult | None] = [None] * len(units)
+    manifest = _as_manifest(manifest)
+    results: list[WorkloadResult | UnitFailure | None] = [None] * len(units)
 
     pending: list[int] = []
     for index, spec in enumerate(units):
         hit = cache.get(spec) if cache is not None else None
         if hit is not None:
             results[index] = hit
+            if manifest is not None:
+                manifest.record(spec.digest(), spec.label, "cached")
             if progress is not None:
                 progress(f"{spec.label} (cached)")
         else:
@@ -162,14 +462,44 @@ def run_plan(
 
     if pending:
         if executor is None:
-            executor = make_executor(jobs)
+            executor = make_executor(jobs, policy=policy, injector=injector)
         batch = [units[index] for index in pending]
-        for position, result in executor.run(batch):
-            index = pending[position]
-            results[index] = result
-            if cache is not None:
-                cache.put(units[index], result)
-            if progress is not None:
-                progress(units[index].label)
+        stream = executor.run(batch)
+        try:
+            for position, outcome in stream:
+                index = pending[position]
+                spec = units[index]
+                results[index] = outcome
+                if isinstance(outcome, UnitFailure):
+                    if manifest is not None:
+                        manifest.record(
+                            spec.digest(), spec.label, "failed",
+                            attempts=outcome.attempts, kind=outcome.kind,
+                            message=outcome.message)
+                    if progress is not None:
+                        progress(f"{spec.label} (failed: {outcome.kind})")
+                    if not keep_going:
+                        raise UnitExecutionError(outcome)
+                    continue
+                if cache is not None:
+                    try:
+                        path = cache.put(spec, outcome)
+                    except OSError as exc:
+                        _log.warning(
+                            "result-cache write failed for %s (%s); "
+                            "continuing uncached", spec.label, exc)
+                    else:
+                        if injector is not None:
+                            injector.corrupt_cache_entry(path, spec)
+                if manifest is not None:
+                    manifest.record(spec.digest(), spec.label, "ok")
+                if progress is not None:
+                    progress(spec.label)
+        finally:
+            # Closing the stream tears the executor down (cancelling
+            # futures and reaping workers) on fail-fast or interrupt.
+            close = getattr(stream, "close", None)
+            if close is not None:
+                close()
 
     return results  # type: ignore[return-value]

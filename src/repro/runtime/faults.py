@@ -1,0 +1,245 @@
+"""Failure records and deterministic fault injection for the runtime.
+
+Two halves:
+
+* :class:`UnitFailure` — the structured record carried *alongside*
+  results when a unit exhausts its retry budget (spec digest, attempt
+  count, exception class, traceback, wall time), instead of an exception
+  torn out of ``as_completed`` that aborts the whole sweep.
+  :class:`UnitExecutionError` wraps one for ``fail_fast`` callers.
+
+* :class:`FaultInjector` — a seeded, spec-digest-keyed injector that can
+  force worker crashes, hung workers, transient exceptions, and corrupt
+  cache entries.  It is stateless and picklable: every decision is a
+  pure function of (seed, spec digest, attempt, rule), so the same
+  faults fire on both sides of a process boundary and on every re-run,
+  letting tests exercise each recovery path reproducibly.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+import time
+import traceback as _traceback
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from .retry import stable_fraction
+from .spec import WorkloadSpec
+
+__all__ = [
+    "InjectedFaultError",
+    "InjectedTransientError",
+    "InjectedCrashError",
+    "UnitTimeoutError",
+    "UnitFailure",
+    "UnitExecutionError",
+    "FaultRule",
+    "FaultInjector",
+    "failure_kind",
+]
+
+
+class InjectedFaultError(RuntimeError):
+    """Base class for exceptions raised by the fault injector."""
+
+
+class InjectedTransientError(InjectedFaultError):
+    """A retryable injected exception (simulates flaky infrastructure)."""
+
+
+class InjectedCrashError(InjectedFaultError):
+    """An injected hard crash, raised where no real process can be killed."""
+
+
+class UnitTimeoutError(RuntimeError):
+    """A unit exceeded its per-unit wall-clock budget."""
+
+
+def failure_kind(exception: BaseException) -> str:
+    """Classify an exception into a :class:`UnitFailure` kind."""
+    if isinstance(exception, (BrokenProcessPool, InjectedCrashError)):
+        return "crash"
+    if isinstance(exception, (UnitTimeoutError, TimeoutError)):
+        return "timeout"
+    return "error"
+
+
+@dataclass
+class UnitFailure:
+    """One unit's terminal failure after its retry budget ran out.
+
+    Flows through ``Executor.run`` / ``run_plan`` in place of a
+    :class:`~repro.harness.runner.WorkloadResult`; ``ok`` is False so
+    mixed result lists partition uniformly.  ``quarantined`` marks specs
+    that kept killing worker processes and were pulled from the pool
+    rather than resubmitted.
+    """
+
+    digest: str
+    label: str
+    kind: str  # 'crash' | 'timeout' | 'error'
+    attempts: int
+    exception: str
+    message: str
+    traceback: str = ""
+    elapsed: float = 0.0
+    quarantined: bool = False
+
+    ok = False  # mirrors WorkloadResult.ok
+
+    @classmethod
+    def from_exception(
+        cls,
+        spec: WorkloadSpec,
+        exception: BaseException,
+        attempts: int,
+        elapsed: float,
+        quarantined: bool | None = None,
+    ) -> "UnitFailure":
+        kind = failure_kind(exception)
+        if quarantined is None:
+            quarantined = kind == "crash"
+        trace = "".join(_traceback.format_exception(
+            type(exception), exception, exception.__traceback__))
+        return cls(
+            digest=spec.digest(),
+            label=spec.label,
+            kind=kind,
+            attempts=attempts,
+            exception=type(exception).__name__,
+            message=str(exception),
+            traceback=trace,
+            elapsed=elapsed,
+            quarantined=quarantined,
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "UnitFailure":
+        return cls(**data)
+
+
+class UnitExecutionError(RuntimeError):
+    """Raised under ``fail_fast`` when a unit fails after all retries."""
+
+    def __init__(self, failure: UnitFailure) -> None:
+        super().__init__(
+            f"{failure.label} failed after {failure.attempts} attempt(s): "
+            f"[{failure.kind}] {failure.exception}: {failure.message}"
+        )
+        self.failure = failure
+
+
+_FAULT_KINDS = ("crash", "timeout", "transient", "corrupt-cache")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One deterministic injection: which units, which fault, how often.
+
+    ``match`` is an ``fnmatch`` pattern over the unit label (``RAJ/PR``,
+    ``*/CC``) or a spec-digest hex prefix.  The fault fires on attempts
+    1..``attempts`` (use a large value for "always") whenever the seeded
+    hash of (seed, digest, attempt, kind) lands below ``probability``.
+    ``hang`` is how long an injected timeout sleeps — longer than the
+    retry policy's ``timeout`` so the executor, not the fault, decides
+    when to give up.
+    """
+
+    kind: str
+    match: str = "*"
+    attempts: int = 1
+    probability: float = 1.0
+    hang: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {_FAULT_KINDS}"
+            )
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if not 0 <= self.probability <= 1:
+            raise ValueError("probability must be within [0, 1]")
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Deterministic, spec-digest-keyed fault injection."""
+
+    rules: tuple[FaultRule, ...] = ()
+    seed: int = 0
+
+    def _fires(self, rule: FaultRule, spec: WorkloadSpec,
+               attempt: int) -> bool:
+        if attempt > rule.attempts:
+            return False
+        digest = spec.digest()
+        if not (fnmatch.fnmatchcase(spec.label, rule.match)
+                or digest.startswith(rule.match)):
+            return False
+        if rule.probability >= 1.0:
+            return True
+        draw = stable_fraction(
+            f"{self.seed}:{digest}:{attempt}:{rule.kind}")
+        return draw < rule.probability
+
+    def select(self, spec: WorkloadSpec,
+               attempt: int) -> FaultRule | None:
+        """The first execution fault that fires for (spec, attempt)."""
+        for rule in self.rules:
+            if rule.kind != "corrupt-cache" and self._fires(
+                    rule, spec, attempt):
+                return rule
+        return None
+
+    def before_execute(self, spec: WorkloadSpec, attempt: int,
+                       in_worker: bool) -> None:
+        """Apply any crash/timeout/transient fault for this attempt.
+
+        Inside a pool worker an injected crash kills the real process
+        (surfacing as ``BrokenProcessPool`` in the manager); in-process
+        it degrades to :class:`InjectedCrashError` so the test process
+        survives.
+        """
+        rule = self.select(spec, attempt)
+        if rule is None:
+            return
+        if rule.kind == "crash":
+            if in_worker:
+                os._exit(13)
+            raise InjectedCrashError(
+                f"injected crash for {spec.label} (attempt {attempt})")
+        if rule.kind == "timeout":
+            time.sleep(rule.hang)
+            raise UnitTimeoutError(
+                f"injected hang for {spec.label} outlived its "
+                f"{rule.hang:g}s sleep (attempt {attempt})")
+        raise InjectedTransientError(
+            f"injected transient fault for {spec.label} "
+            f"(attempt {attempt})")
+
+    def corrupt_cache_entry(self, path: str | Path,
+                            spec: WorkloadSpec) -> bool:
+        """Garble the cache entry just written for ``spec``, if a rule says so."""
+        for rule in self.rules:
+            if rule.kind == "corrupt-cache" and self._fires(rule, spec, 1):
+                Path(path).write_text("{corrupted-by-fault-injector")
+                return True
+        return False
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed,
+                "rules": [asdict(rule) for rule in self.rules]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultInjector":
+        return cls(
+            rules=tuple(FaultRule(**rule) for rule in data["rules"]),
+            seed=data.get("seed", 0),
+        )

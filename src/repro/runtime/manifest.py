@@ -1,0 +1,86 @@
+"""Incremental run manifests: a JSON-lines journal of unit outcomes.
+
+``run_plan`` appends one record per completed unit *as it completes*
+(flushed immediately), so an interrupted or partially failed sweep
+leaves a readable account of what happened.  On re-run the result cache
+restores the successes; the manifest names the failures, so tooling —
+and :meth:`ExecutionPlan.subset` — can rebuild exactly the units that
+still need simulating.
+
+Records are append-only: a digest may appear multiple times across
+re-runs, and the *latest* record wins.  A torn final line (the process
+died mid-write) is skipped on read rather than poisoning the journal.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["RunManifest"]
+
+
+class RunManifest:
+    """Append-only journal of per-unit outcomes for one or more runs."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path).expanduser()
+
+    def record(
+        self,
+        digest: str,
+        label: str,
+        status: str,
+        attempts: int = 1,
+        kind: str | None = None,
+        message: str | None = None,
+    ) -> None:
+        """Append one outcome (``status`` in 'ok' | 'cached' | 'failed')."""
+        if status not in ("ok", "cached", "failed"):
+            raise ValueError(f"unknown manifest status {status!r}")
+        entry: dict = {
+            "digest": digest,
+            "label": label,
+            "status": status,
+            "attempts": attempts,
+        }
+        if kind is not None:
+            entry["kind"] = kind
+        if message is not None:
+            entry["message"] = message
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry) + "\n")
+            handle.flush()
+
+    def entries(self) -> list[dict]:
+        """All records in append order, skipping torn/corrupt lines."""
+        if not self.path.exists():
+            return []
+        records = []
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and "digest" in record:
+                records.append(record)
+        return records
+
+    def latest(self) -> dict[str, dict]:
+        """The most recent record per digest."""
+        state: dict[str, dict] = {}
+        for record in self.entries():
+            state[record["digest"]] = record
+        return state
+
+    def failed_digests(self) -> set[str]:
+        """Digests whose latest recorded outcome is a failure."""
+        return {digest for digest, record in self.latest().items()
+                if record.get("status") == "failed"}
+
+    def __len__(self) -> int:
+        return len(self.entries())

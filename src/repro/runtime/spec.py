@@ -269,3 +269,21 @@ class ExecutionPlan:
         """Digest over the ordered unit digests."""
         joined = "\n".join(unit.digest() for unit in self.units)
         return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+    def unit_for(self, digest: str) -> WorkloadSpec:
+        """The unit whose content digest is ``digest`` (KeyError if absent)."""
+        for unit in self.units:
+            if unit.digest() == digest:
+                return unit
+        raise KeyError(f"no unit with digest {digest!r}")
+
+    def subset(self, digests: Iterable[str]) -> "ExecutionPlan":
+        """The sub-plan covering ``digests``, in plan order.
+
+        The resume helper: feed it a manifest's ``failed_digests()`` to
+        rebuild exactly the units an interrupted or partially failed
+        sweep still owes.
+        """
+        wanted = set(digests)
+        return ExecutionPlan(units=tuple(
+            unit for unit in self.units if unit.digest() in wanted))

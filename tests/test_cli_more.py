@@ -28,3 +28,72 @@ class TestRunVariants:
         save_mtx(small_random, path)
         assert main(["predict", str(path), "SSSP"]) == 0
         assert "recommended configuration" in capsys.readouterr().out
+
+
+class TestFaultFlags:
+    def test_run_with_retries_timeout_and_manifest(self, tmp_path, capsys):
+        manifest_path = tmp_path / "run.jsonl"
+        assert main(["run", "DCT", "MIS", "--iters", "1",
+                     "--retries", "2", "--timeout", "600",
+                     "--manifest", str(manifest_path)]) == 0
+        assert "best:" in capsys.readouterr().out
+        from repro.runtime import RunManifest
+
+        manifest = RunManifest(manifest_path)
+        assert len(manifest) == 1
+        assert manifest.entries()[0]["status"] in ("ok", "cached")
+        assert manifest.failed_digests() == set()
+
+    def test_run_accepts_fail_fast(self, capsys):
+        assert main(["run", "DCT", "MIS", "--iters", "1",
+                     "--fail-fast"]) == 0
+        assert "best:" in capsys.readouterr().out
+
+    def test_keep_going_and_fail_fast_conflict(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "DCT", "MIS", "--keep-going", "--fail-fast"])
+        assert "not allowed with" in capsys.readouterr().err
+
+    def test_run_reports_failure_and_exits_nonzero(self, capsys,
+                                                   monkeypatch):
+        from repro.runtime import FaultInjector, FaultRule, RetryPolicy
+        from repro.runtime import executor as executor_module
+
+        real = executor_module.make_executor
+
+        def faulty(jobs=1, policy=None, injector=None):
+            return real(
+                jobs,
+                policy=RetryPolicy(max_attempts=2, base_delay=0.0,
+                                   jitter=0.0),
+                injector=FaultInjector(rules=(FaultRule(
+                    kind="transient", match="*", attempts=10**6),)),
+            )
+
+        monkeypatch.setattr(executor_module, "make_executor", faulty)
+        assert main(["run", "DCT", "MIS", "--iters", "1",
+                     "--no-cache"]) == 1
+        err = capsys.readouterr().err
+        assert "failed: DCT/MIS" in err
+        assert "InjectedTransientError" in err
+
+    def test_run_fail_fast_raises_cleanly(self, capsys, monkeypatch):
+        from repro.runtime import FaultInjector, FaultRule, RetryPolicy
+        from repro.runtime import executor as executor_module
+
+        real = executor_module.make_executor
+
+        def faulty(jobs=1, policy=None, injector=None):
+            return real(
+                jobs,
+                policy=RetryPolicy(max_attempts=2, base_delay=0.0,
+                                   jitter=0.0),
+                injector=FaultInjector(rules=(FaultRule(
+                    kind="transient", match="*", attempts=10**6),)),
+            )
+
+        monkeypatch.setattr(executor_module, "make_executor", faulty)
+        assert main(["run", "DCT", "MIS", "--iters", "1", "--no-cache",
+                     "--fail-fast"]) == 1
+        err = capsys.readouterr().err
+        assert "error: DCT/MIS failed after 2 attempt(s)" in err

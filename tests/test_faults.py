@@ -1,0 +1,493 @@
+"""Fault-tolerance tests: retries, timeouts, failure records, injection.
+
+Exercises every recovery path deterministically via the seeded
+FaultInjector: transient exceptions retried to success, worker crashes
+(real ``os._exit`` in pool workers) survived by pool respawn, hung
+workers reclaimed by per-unit deadlines, corrupt cache entries healed,
+keep-going vs fail-fast semantics, and the manifest/cache resume flow.
+"""
+
+import logging
+import multiprocessing
+import time
+
+import pytest
+
+from repro.harness.runner import WorkloadResult
+from repro.harness.sweep import run_sweep
+from repro.runtime import (
+    ExecutionPlan,
+    FaultInjector,
+    FaultRule,
+    InjectedCrashError,
+    InjectedTransientError,
+    ParallelExecutor,
+    ResultCache,
+    RetryPolicy,
+    RunManifest,
+    UnitExecutionError,
+    UnitFailure,
+    UnitTimeoutError,
+    failure_kind,
+    run_plan,
+    run_unit,
+)
+from repro.runtime import executor as executor_module
+from repro.sim.config import SystemConfig
+
+SMALL_SCALES = {"DCT": 64, "RAJ": 32}
+
+# No backoff sleeps, no jitter: failure paths should not slow the suite.
+FAST = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+
+
+@pytest.fixture(scope="module")
+def small_system():
+    return SystemConfig(
+        num_sms=4,
+        l1_bytes=1024,
+        l2_bytes=16 * 1024,
+        tb_size=64,
+        max_tbs_per_sm=2,
+        kernel_launch_cycles=100,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_plan(small_system):
+    return ExecutionPlan.for_sweep(
+        ("DCT", "RAJ"), ("PR", "CC"),
+        max_iters=2,
+        scales=SMALL_SCALES,
+        base_system=small_system,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_results(small_plan):
+    return run_plan(small_plan, jobs=1)
+
+
+def _dicts(results):
+    return [r.to_dict() for r in results]
+
+
+def always(kind, match, **kwargs):
+    """A rule that fires on every attempt of the matching units."""
+    return FaultRule(kind=kind, match=match, attempts=10**6, **kwargs)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay=0.5, backoff=2.0, max_delay=1.5,
+                             jitter=0.0)
+        assert policy.delay_for(1) == 0.5
+        assert policy.delay_for(2) == 1.0
+        assert policy.delay_for(3) == 1.5  # capped
+        assert policy.delay_for(10) == 1.5
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay=1.0, backoff=1.0, max_delay=1.0,
+                             jitter=0.25)
+        first = policy.delay_for(1, key="abc")
+        assert first == policy.delay_for(1, key="abc")
+        assert 0.75 <= first <= 1.25
+        # Different keys and attempts de-synchronize.
+        spread = {policy.delay_for(a, key=k)
+                  for a in (1, 2, 3) for k in ("a", "b", "c")}
+        assert len(spread) > 1
+
+    def test_zero_base_delay_stays_zero(self):
+        assert FAST.delay_for(5, key="x") == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ValueError, match="timeout"):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ValueError, match="backoff"):
+            RetryPolicy(backoff=0.5)
+
+
+class TestFailureRecords:
+    def test_kind_classification(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        assert failure_kind(BrokenProcessPool("dead")) == "crash"
+        assert failure_kind(InjectedCrashError("boom")) == "crash"
+        assert failure_kind(UnitTimeoutError("slow")) == "timeout"
+        assert failure_kind(TimeoutError()) == "timeout"
+        assert failure_kind(ValueError("other")) == "error"
+
+    def test_from_exception_and_roundtrip(self, small_plan):
+        spec = small_plan[0]
+        try:
+            raise InjectedTransientError("flaky")
+        except InjectedTransientError as exc:
+            failure = UnitFailure.from_exception(
+                spec, exc, attempts=3, elapsed=1.25)
+        assert failure.digest == spec.digest()
+        assert failure.label == spec.label
+        assert failure.kind == "error"
+        assert failure.attempts == 3
+        assert failure.exception == "InjectedTransientError"
+        assert failure.message == "flaky"
+        assert "InjectedTransientError" in failure.traceback
+        assert not failure.ok
+        assert not failure.quarantined
+        clone = UnitFailure.from_dict(failure.to_dict())
+        assert clone == failure
+
+    def test_crash_failures_are_quarantined(self, small_plan):
+        failure = UnitFailure.from_exception(
+            small_plan[0], InjectedCrashError("boom"), attempts=2,
+            elapsed=0.5)
+        assert failure.kind == "crash"
+        assert failure.quarantined
+
+    def test_execution_error_wraps_failure(self, small_plan):
+        failure = UnitFailure.from_exception(
+            small_plan[0], ValueError("nope"), attempts=2, elapsed=0.1)
+        error = UnitExecutionError(failure)
+        assert error.failure is failure
+        assert "after 2 attempt(s)" in str(error)
+        assert "ValueError" in str(error)
+
+
+class TestFaultInjector:
+    def test_rule_validation(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule(kind="meteor")
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule(kind="crash", probability=2.0)
+        with pytest.raises(ValueError, match="attempts"):
+            FaultRule(kind="crash", attempts=0)
+
+    def test_match_by_label_and_digest_prefix(self, small_plan):
+        spec = small_plan[0]
+        by_label = FaultInjector(rules=(FaultRule(
+            kind="transient", match=spec.label),))
+        by_glob = FaultInjector(rules=(FaultRule(
+            kind="transient", match="DCT/*"),))
+        by_digest = FaultInjector(rules=(FaultRule(
+            kind="transient", match=spec.digest()[:12]),))
+        for injector in (by_label, by_glob, by_digest):
+            assert injector.select(spec, 1) is not None
+        other = small_plan[3]  # RAJ/CC
+        assert by_label.select(other, 1) is None
+        assert by_glob.select(other, 1) is None
+
+    def test_attempt_window(self, small_plan):
+        spec = small_plan[0]
+        injector = FaultInjector(rules=(FaultRule(
+            kind="transient", match="*", attempts=2),))
+        assert injector.select(spec, 1) is not None
+        assert injector.select(spec, 2) is not None
+        assert injector.select(spec, 3) is None
+
+    def test_probability_is_seeded_and_stateless(self, small_plan):
+        injector = FaultInjector(rules=(FaultRule(
+            kind="transient", match="*", attempts=10**6,
+            probability=0.5),), seed=42)
+        decisions = [injector.select(spec, attempt) is not None
+                     for spec in small_plan for attempt in (1, 2, 3)]
+        assert any(decisions) and not all(decisions)
+        # Stateless: the same injector (also after a dict round-trip,
+        # as when crossing a process boundary) decides identically.
+        clone = FaultInjector.from_dict(injector.to_dict())
+        assert decisions == [clone.select(spec, attempt) is not None
+                             for spec in small_plan
+                             for attempt in (1, 2, 3)]
+        reseeded = FaultInjector(rules=injector.rules, seed=43)
+        assert decisions != [reseeded.select(spec, attempt) is not None
+                             for spec in small_plan
+                             for attempt in (1, 2, 3)]
+
+    def test_in_process_faults_raise(self, small_plan):
+        spec = small_plan[0]
+        crash = FaultInjector(rules=(always("crash", "*"),))
+        with pytest.raises(InjectedCrashError):
+            crash.before_execute(spec, 1, in_worker=False)
+        transient = FaultInjector(rules=(always("transient", "*"),))
+        with pytest.raises(InjectedTransientError):
+            transient.before_execute(spec, 1, in_worker=False)
+        hang = FaultInjector(rules=(always("timeout", "*", hang=0.01),))
+        with pytest.raises(UnitTimeoutError):
+            hang.before_execute(spec, 1, in_worker=False)
+
+    def test_select_skips_corrupt_cache_rules(self, small_plan):
+        injector = FaultInjector(rules=(always("corrupt-cache", "*"),))
+        assert injector.select(small_plan[0], 1) is None
+        injector.before_execute(small_plan[0], 1, in_worker=False)  # no-op
+
+
+class TestManifest:
+    def test_record_and_read_back(self, tmp_path):
+        manifest = RunManifest(tmp_path / "runs" / "m.jsonl")
+        manifest.record("d1", "A/PR", "ok")
+        manifest.record("d2", "A/CC", "failed", attempts=3, kind="crash",
+                        message="boom")
+        manifest.record("d3", "B/PR", "cached")
+        assert len(manifest) == 3
+        assert manifest.failed_digests() == {"d2"}
+        latest = manifest.latest()
+        assert latest["d2"]["kind"] == "crash"
+        assert latest["d2"]["attempts"] == 3
+
+    def test_latest_record_wins(self, tmp_path):
+        manifest = RunManifest(tmp_path / "m.jsonl")
+        manifest.record("d1", "A/PR", "failed", attempts=3, kind="error")
+        manifest.record("d1", "A/PR", "ok")
+        assert manifest.failed_digests() == set()
+
+    def test_torn_lines_are_skipped(self, tmp_path):
+        manifest = RunManifest(tmp_path / "m.jsonl")
+        manifest.record("d1", "A/PR", "ok")
+        with manifest.path.open("a") as handle:
+            handle.write('{"digest": "d2", "label": "A/CC", "sta')
+        assert [record["digest"] for record in manifest.entries()] == ["d1"]
+
+    def test_bad_status_rejected(self, tmp_path):
+        manifest = RunManifest(tmp_path / "m.jsonl")
+        with pytest.raises(ValueError, match="status"):
+            manifest.record("d1", "A/PR", "exploded")
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        manifest = RunManifest(tmp_path / "nope.jsonl")
+        assert manifest.entries() == []
+        assert manifest.failed_digests() == set()
+
+
+class TestPlanResumeHelpers:
+    def test_subset_preserves_plan_order(self, small_plan):
+        digests = [small_plan[3].digest(), small_plan[1].digest()]
+        sub = small_plan.subset(digests)
+        assert [unit.label for unit in sub] == [small_plan[1].label,
+                                                small_plan[3].label]
+
+    def test_unit_for(self, small_plan):
+        spec = small_plan[2]
+        assert small_plan.unit_for(spec.digest()) == spec
+        with pytest.raises(KeyError):
+            small_plan.unit_for("feedbeef")
+
+    def test_manifest_to_subset_flow(self, small_plan, tmp_path):
+        manifest = RunManifest(tmp_path / "m.jsonl")
+        failed = small_plan[1]
+        manifest.record(failed.digest(), failed.label, "failed",
+                        attempts=3, kind="timeout")
+        for unit in (small_plan[0], small_plan[2], small_plan[3]):
+            manifest.record(unit.digest(), unit.label, "ok")
+        retry_plan = small_plan.subset(manifest.failed_digests())
+        assert [unit.label for unit in retry_plan] == [failed.label]
+
+
+class TestSerialRecovery:
+    def test_transient_fault_retried_to_success(self, small_plan):
+        spec = small_plan[0]
+        injector = FaultInjector(rules=(FaultRule(
+            kind="transient", match="*", attempts=1),))
+        calls = []
+        sentinel = object()
+
+        def execute(s):
+            calls.append(s.label)
+            return sentinel
+
+        outcome = run_unit(spec, policy=FAST, injector=injector,
+                           execute=execute)
+        assert outcome is sentinel
+        assert calls == [spec.label]  # attempt 1 died in the injector
+
+    def test_persistent_fault_exhausts_budget(self, small_plan):
+        spec = small_plan[0]
+        injector = FaultInjector(rules=(always("transient", "*"),))
+        outcome = run_unit(spec, policy=FAST, injector=injector,
+                           execute=lambda s: object())
+        assert isinstance(outcome, UnitFailure)
+        assert outcome.attempts == FAST.max_attempts
+        assert outcome.kind == "error"
+        assert outcome.exception == "InjectedTransientError"
+
+    def test_post_hoc_timeout_detection(self, small_plan):
+        spec = small_plan[0]
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0,
+                             timeout=0.005)
+
+        def slow(s):
+            time.sleep(0.02)
+            return object()
+
+        outcome = run_unit(spec, policy=policy, execute=slow)
+        assert isinstance(outcome, UnitFailure)
+        assert outcome.kind == "timeout"
+        assert outcome.attempts == 2
+
+    def test_injected_hang_times_out_serially(self, small_plan):
+        spec = small_plan[0]
+        injector = FaultInjector(rules=(always("timeout", "*",
+                                               hang=0.005),))
+        outcome = run_unit(spec, policy=FAST, injector=injector,
+                           execute=lambda s: object())
+        assert isinstance(outcome, UnitFailure)
+        assert outcome.kind == "timeout"
+        assert outcome.attempts == FAST.max_attempts
+
+    def test_keep_going_yields_partial_results(self, small_plan,
+                                               serial_results):
+        injector = FaultInjector(rules=(always("transient", "DCT/PR"),))
+        outcomes = run_plan(small_plan, jobs=1, policy=FAST,
+                            injector=injector)
+        assert isinstance(outcomes[0], UnitFailure)
+        assert not outcomes[0].ok
+        survivors = [outcome for outcome in outcomes if outcome.ok]
+        assert _dicts(survivors) == _dicts(serial_results[1:])
+
+    def test_fail_fast_raises(self, small_plan):
+        injector = FaultInjector(rules=(always("transient", "DCT/PR"),))
+        with pytest.raises(UnitExecutionError) as excinfo:
+            run_plan(small_plan, jobs=1, policy=FAST, injector=injector,
+                     keep_going=False)
+        assert excinfo.value.failure.label == "DCT/PR"
+        assert excinfo.value.failure.attempts == FAST.max_attempts
+
+    def test_cache_put_failure_logs_and_continues(self, small_plan,
+                                                  tmp_path, monkeypatch,
+                                                  caplog):
+        cache = ResultCache(tmp_path / "cache")
+
+        def broken_put(spec, result):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(cache, "put", broken_put)
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.runtime.executor"):
+            outcomes = run_plan([small_plan[0]], jobs=1, cache=cache)
+        assert isinstance(outcomes[0], WorkloadResult)
+        assert "result-cache write failed" in caplog.text
+
+    def test_corrupt_cache_injection_recovers(self, small_plan, tmp_path):
+        spec = small_plan[0]
+        cache = ResultCache(tmp_path / "cache")
+        injector = FaultInjector(rules=(always("corrupt-cache", "*"),))
+        first = run_plan([spec], jobs=1, cache=cache, injector=injector)
+        assert first[0].ok
+        # The entry on disk is garbage; the next read heals it ...
+        assert cache.get(spec) is None
+        assert cache.corrupt == 1
+        assert not cache.path_for(spec).exists()
+        # ... and a clean re-run repopulates the cache.
+        second = run_plan([spec], jobs=1, cache=cache)
+        assert _dicts(second) == _dicts(first)
+        assert cache.get(spec) is not None
+
+
+class TestParallelRecovery:
+    def test_worker_transient_faults_retry_bit_identical(
+            self, small_plan, serial_results):
+        injector = FaultInjector(rules=(FaultRule(
+            kind="transient", match="*", attempts=1),))
+        outcomes = run_plan(small_plan, jobs=2, policy=FAST,
+                            injector=injector)
+        assert _dicts(outcomes) == _dicts(serial_results)
+
+    def test_worker_crash_respawns_pool(self, small_plan, serial_results):
+        # DCT/CC's first attempt kills its worker process with os._exit;
+        # the manager must respawn the pool and finish every unit.
+        injector = FaultInjector(rules=(FaultRule(
+            kind="crash", match="DCT/CC", attempts=1),))
+        outcomes = run_plan(small_plan, jobs=2, policy=FAST,
+                            injector=injector)
+        assert _dicts(outcomes) == _dicts(serial_results)
+
+    def test_poisoned_spec_is_quarantined(self, small_plan,
+                                          serial_results):
+        injector = FaultInjector(rules=(always("crash", "RAJ/CC"),))
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+        outcomes = run_plan(small_plan, jobs=2, policy=policy,
+                            injector=injector)
+        failure = outcomes[3]
+        assert isinstance(failure, UnitFailure)
+        assert failure.kind == "crash"
+        assert failure.quarantined
+        assert failure.attempts == 2
+        survivors = [outcome for outcome in outcomes if outcome.ok]
+        assert _dicts(survivors) == _dicts(serial_results[:3])
+
+    def test_generator_close_reaps_hung_workers(self, small_plan):
+        # DCT/CC hangs for a minute; closing the stream after the first
+        # result must terminate the hung worker instead of leaking it.
+        injector = FaultInjector(rules=(always("timeout", "DCT/CC",
+                                               hang=60.0),))
+        executor = ParallelExecutor(
+            jobs=2, policy=RetryPolicy(max_attempts=1), injector=injector)
+        stream = executor.run(list(small_plan))
+        position, outcome = next(stream)
+        assert outcome.ok
+        closed_at = time.monotonic()
+        stream.close()
+        assert time.monotonic() - closed_at < 10.0
+        deadline = time.monotonic() + 10.0
+        while multiprocessing.active_children():
+            assert time.monotonic() < deadline, "worker processes leaked"
+            time.sleep(0.05)
+
+
+class TestAcceptance:
+    """The ISSUE's acceptance scenario, end to end."""
+
+    def test_faulted_sweep_degrades_then_resumes(self, tmp_path,
+                                                 monkeypatch):
+        kwargs = dict(
+            graphs=("DCT", "RAJ"),
+            apps=("PR", "CC"),
+            max_iters=2,
+            scales=SMALL_SCALES,
+        )
+        # DCT/PR's worker always crashes; RAJ/CC's worker always hangs.
+        injector = FaultInjector(rules=(
+            always("crash", "DCT/PR"),
+            always("timeout", "RAJ/CC", hang=30.0),
+        ))
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0,
+                             timeout=3.0)
+        cache = ResultCache(tmp_path / "cache")
+        manifest = RunManifest(tmp_path / "manifest.jsonl")
+
+        sweep = run_sweep(jobs=2, cache=cache, policy=policy,
+                          injector=injector, manifest=manifest, **kwargs)
+
+        # Keep-going: exactly the non-failed rows, failures recorded.
+        assert not sweep.complete
+        assert {(row.graph, row.app) for row in sweep.rows} == {
+            ("DCT", "CC"), ("RAJ", "PR")}
+        assert len(sweep.failures) == 2
+        kinds = {failure.label: failure.kind
+                 for failure in sweep.failures}
+        assert kinds == {"DCT/PR": "crash", "RAJ/CC": "timeout"}
+        assert all(failure.attempts > 1 for failure in sweep.failures)
+        assert manifest.failed_digests() == {
+            failure.digest for failure in sweep.failures}
+
+        # Re-run after the "faults are fixed": cache + manifest resume
+        # simulates only the two failed units.
+        calls = []
+        real = executor_module.execute_spec
+
+        def counting(spec):
+            calls.append(spec.label)
+            return real(spec)
+
+        monkeypatch.setattr(executor_module, "execute_spec", counting)
+        resumed = run_sweep(jobs=1, cache=cache, manifest=manifest,
+                            **kwargs)
+        assert sorted(calls) == ["DCT/PR", "RAJ/CC"]
+        assert resumed.complete
+        assert len(resumed.rows) == 4
+        assert manifest.failed_digests() == set()
+        statuses = [record["status"] for record in manifest.entries()]
+        assert statuses.count("failed") == 2
+        assert statuses.count("cached") == 2
+        assert statuses.count("ok") == 4

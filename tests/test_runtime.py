@@ -60,6 +60,16 @@ def _dicts(results):
     return [r.to_dict() for r in results]
 
 
+def _hammer_put(directory, spec_dict, result_dict, rounds):
+    """Worker for the concurrent-writer test (module-level: picklable)."""
+    cache = ResultCache(directory)
+    spec = WorkloadSpec.from_dict(spec_dict)
+    result = WorkloadResult.from_dict(result_dict)
+    for _ in range(rounds):
+        cache.put(spec, result)
+    return rounds
+
+
 class TestSpecs:
     def test_dataset_ref_roundtrip(self):
         ref = GraphRef.dataset("DCT", scale=64, seed=3)
@@ -244,12 +254,56 @@ class TestResultCache:
         monkeypatch.setattr(spec_module, "RESULT_SCHEMA_VERSION", 99)
         assert cache.get(spec) is None
 
-    def test_corrupt_entry_is_a_miss(self, small_plan, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_self_heals(self, small_plan,
+                                                    tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = small_plan[0]
+        first = run_plan([spec], cache=cache)
+        cache.path_for(spec).write_text("{not json")
+        assert cache.get(spec) is None
+        # Self-healing: the garbage entry is deleted, counted, and the
+        # slot is writable again.
+        assert cache.corrupt == 1
+        assert not cache.path_for(spec).exists()
+        second = run_plan([spec], cache=cache)
+        assert _dicts(second) == _dicts(first)
+        assert cache.get(spec) is not None
+        assert cache.corrupt == 1
+
+    def test_truncated_entry_is_a_miss(self, small_plan, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         spec = small_plan[0]
         run_plan([spec], cache=cache)
-        cache.path_for(spec).write_text("{not json")
+        path = cache.path_for(spec)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
         assert cache.get(spec) is None
+        assert cache.corrupt == 1
+        assert not path.exists()
+
+    def test_concurrent_writers_leave_one_clean_entry(self, small_plan,
+                                                      serial_results,
+                                                      tmp_path):
+        import concurrent.futures as cf
+
+        directory = tmp_path / "cache"
+        spec = small_plan[0]
+        spec_dict = spec.to_dict()
+        result_dict = serial_results[0].to_dict()
+        with cf.ProcessPoolExecutor(max_workers=4) as pool:
+            futures = [pool.submit(_hammer_put, str(directory), spec_dict,
+                                   result_dict, 25) for _ in range(4)]
+            for future in futures:
+                future.result(timeout=60)
+        # Atomic tmp+rename: whatever interleaving won, the entry parses
+        # and no staged .tmp files are left behind.
+        entries = list(directory.glob("*.json"))
+        assert len(entries) == 1
+        payload = json.loads(entries[0].read_text())
+        assert payload["digest"] == spec.digest()
+        assert payload["result"] == result_dict
+        assert list(directory.glob("*.tmp")) == []
+        cache = ResultCache(directory)
+        assert cache.get(spec).to_dict() == result_dict
 
     def test_entry_is_inspectable_json(self, small_plan, tmp_path):
         cache = ResultCache(tmp_path / "cache")
@@ -263,8 +317,10 @@ class TestResultCache:
     def test_clear(self, small_plan, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         run_plan([small_plan[0]], cache=cache)
-        assert cache.clear() == 1
+        (cache.directory / "orphan.tmp").write_text("staged")
+        assert cache.clear() == 1  # *.tmp strays swept but not counted
         assert len(cache) == 0
+        assert list(cache.directory.glob("*.tmp")) == []
 
 
 class TestSweepIntegration:
