@@ -152,6 +152,30 @@ def _cmd_predict(args) -> int:
     return 0
 
 
+def _start_profile(args) -> bool:
+    """Enable the perf collector when ``--profile`` was passed.
+
+    Profiling measures this process's trace-gen/simulate wall clock, so
+    it forces uncached in-process execution (a cache hit or a worker
+    process would leave nothing to measure here).
+    """
+    if not getattr(args, "profile", False):
+        return False
+    from .perf import collector
+
+    collector.reset()
+    collector.enabled = True
+    return True
+
+
+def _finish_profile() -> None:
+    from .perf import collector, format_breakdown
+
+    collector.enabled = False
+    for line in format_breakdown(collector.snapshot()):
+        print(line)
+
+
 def _cmd_run(args) -> int:
     ref = _resolve_ref(args.graph)
     configs = None
@@ -163,9 +187,12 @@ def _cmd_run(args) -> int:
         system=scaled_system(ref.scale),
         max_iters=args.iters,
     )
+    profiling = _start_profile(args)
     try:
-        result = run_plan([spec], cache=_resolve_cache(args),
-                          **_fault_kwargs(args))[0]
+        result = run_plan(
+            [spec],
+            cache=None if profiling else _resolve_cache(args),
+            **_fault_kwargs(args))[0]
     except UnitExecutionError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -177,17 +204,20 @@ def _cmd_run(args) -> int:
         print(render_breakdown_bars(
             code, result.results[code].breakdown, value))
     print(f"best: {result.best_code}")
+    if profiling:
+        _finish_profile()
     return 0
 
 
 def _cmd_sweep(args) -> int:
     from .harness import flexibility_stats, format_pct, run_sweep
 
+    profiling = _start_profile(args)
     try:
         sweep = run_sweep(
             max_iters=args.iters,
-            jobs=args.jobs,
-            cache=_resolve_cache(args),
+            jobs=1 if profiling else args.jobs,
+            cache=None if profiling else _resolve_cache(args),
             progress=lambda label: print(f"  {label}", flush=True),
             **_fault_kwargs(args),
         )
@@ -211,7 +241,11 @@ def _cmd_sweep(args) -> int:
               file=sys.stderr)
         for failure in sweep.failures:
             _print_failure(failure)
+        if profiling:
+            _finish_profile()
         return 1
+    if profiling:
+        _finish_profile()
     return 0
 
 
@@ -261,7 +295,14 @@ def build_parser() -> argparse.ArgumentParser:
                              help="append per-workload outcomes to this "
                                   "JSON-lines journal (resume aid)")
 
-    p_run = sub.add_parser("run", parents=[cache_flags, fault_flags],
+    perf_flags = argparse.ArgumentParser(add_help=False)
+    perf_flags.add_argument("--profile", action="store_true",
+                            help="print a trace-gen vs. simulate wall-"
+                                 "clock breakdown afterwards (forces "
+                                 "uncached in-process execution)")
+
+    p_run = sub.add_parser("run",
+                           parents=[cache_flags, fault_flags, perf_flags],
                            help="simulate one workload")
     p_run.add_argument("graph")
     p_run.add_argument("app")
@@ -270,12 +311,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--iters", type=int, default=None,
                        help="cap simulated iterations")
 
-    p_sweep = sub.add_parser("sweep", parents=[cache_flags, fault_flags],
+    p_sweep = sub.add_parser("sweep",
+                             parents=[cache_flags, fault_flags, perf_flags],
                              help="full 36-workload sweep (slow)")
     p_sweep.add_argument("--iters", type=int, default=None)
     p_sweep.add_argument("--jobs", type=int, default=1,
                          help="worker processes for the sweep "
-                              "(1 = in-process serial execution)")
+                              "(1 = in-process serial execution; "
+                              "--profile forces 1)")
     return parser
 
 

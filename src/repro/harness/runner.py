@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from ..configs import Configuration, figure5_configurations
 from ..graph.csr import CSRGraph
 from ..kernels import TraceBuilder, make_kernel
+from ..perf import collector as _perf
 from ..sim.config import DEFAULT_SYSTEM, SystemConfig
 from ..sim.engine import ExecutionResult, GPUSimulator
 
@@ -131,14 +132,28 @@ def run_workload(
     }
     directions = {_trace_direction(c.direction) for c in configs}
 
+    # Perf collection measures our own wall clock, never modeled timing:
+    # results are identical with profiling on or off.
+    perf = _perf if _perf.enabled else None
     for iteration in kernel.iterations(max_iters):
+        t0 = perf.clock() if perf else 0.0
         realized = {
             direction: builder.realize_iteration(iteration, direction)
             for direction in directions
         }
+        if perf:
+            t1 = perf.clock()
+            perf.tracegen_s += t1 - t0
+            t0 = t1
         for config, simulator in simulators.values():
             for trace in realized[_trace_direction(config.direction)]:
                 simulator.feed(trace)
+                if perf:
+                    perf.ops += trace.op_count
+        if perf:
+            perf.simulate_s += perf.clock() - t0
+    if perf:
+        perf.workloads += 1
 
     outcome = WorkloadResult(app=app, graph_name=graph.name,
                              baseline=configs[0].code if configs else None)

@@ -10,9 +10,34 @@ Warp lockstep is modeled by *rounds*: in round ``r`` every lane whose
 vertex has more than ``r`` edges processes its ``r``-th edge, so a warp's
 edge loop runs for the warp's **maximum** active degree — which is exactly
 how degree imbalance inflates execution (Section III-A3).
+
+Performance notes (see DESIGN.md §Performance engineering).  Realization
+is one of the two hot phases of a sweep, so this module:
+
+* converts each adjacency structure to Python lists **once** per builder
+  and runs the per-round lane loops in pure Python — a warp slice is at
+  most 32 elements, far below the numpy call-overhead break-even;
+* walks rounds over a degree-descending lane prefix, so round ``r`` costs
+  O(lanes still active) instead of O(warp width) — the dedup/sort
+  downstream consumers make lane order within a round irrelevant;
+* shares the line-quotient set (``index // elements_per_line``) between
+  loads that address the same index set (e.g. ``col_idx`` and
+  ``weights``);
+* interns op tuples in a per-builder :class:`~repro.sim.trace.OpInterner`
+  so recurring ops are stored once (the compact trace IR);
+* memoizes whole realized phases keyed on a content fingerprint — see
+  :meth:`TraceBuilder.realize`.
+
+``AddressMap.region_base`` assigns region bases on **first touch**, so
+every ``region_base`` call below sits at the exact op-construction point
+where the original (reference) implementation touched the region; hoisting
+those calls would reorder base assignment and change modeled line ids.
 """
 
 from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
 
 import numpy as np
 
@@ -21,9 +46,13 @@ from ..sim.address import AddressMap
 from ..sim.config import SystemConfig
 from ..sim.trace import (
     OP_ACQUIRE,
+    OP_ATOMIC,
     OP_COMPUTE,
+    OP_LOAD,
     OP_RELEASE,
+    OP_STORE,
     KernelTrace,
+    OpInterner,
 )
 from .base import DynamicPhase, EdgePhase, VertexPhase
 
@@ -35,6 +64,87 @@ _RELEASE = (OP_RELEASE,)
 #: Name of the per-vertex state/flag array read for predicate checks.
 STATE_ARRAY = "vstate"
 
+#: Realized-phase memo capacity (LRU).  Big enough to hold both
+#: directions of every phase of adjacent iterations; small enough that a
+#: long-running builder cannot accumulate unbounded trace memory.
+_MEMO_CAPACITY = 16
+
+#: Minimum total edge count in a warp before the vectorized round-table
+#: path pays for its numpy call overhead; smaller warps run the plain
+#: per-round Python loop.  Both paths emit identical ops.
+_VEC_THRESHOLD = 256
+
+
+def _round_tables(offs_desc, degs_desc, neigh_np, epl):
+    """Vectorized per-round slicing tables for one warp's edge loop.
+
+    Given the active lanes' edge offsets/degrees (degree-descending) and
+    the neighbor index array, computes for **all** rounds at once what the
+    per-round Python loop derives incrementally: round ``r`` covers edge
+    positions ``offs_desc[i] + r`` for every lane with ``degs_desc[i] >
+    r``.  Flattening lane-major and stable-sorting by round groups those
+    positions into contiguous round segments whose order matches the
+    Python loop's lane order exactly.
+
+    Returns ``(ends, qe_vals, qe_cuts, nb_vals, nbq_vals, nbq_counts,
+    nbq_cuts)`` — all plain Python lists:
+
+    * ``ends[r]``: end index of round ``r``'s segment in ``nb_vals``;
+    * ``qe_vals[qe_cuts[r-1]:qe_cuts[r]]``: the round's sorted-unique
+      edge-position line quotients (``epos // epl``);
+    * ``nb_vals``: neighbor of each edge position, round-segmented;
+    * ``nbq_vals/nbq_counts`` sliced by ``nbq_cuts``: the round's
+      sorted-unique neighbor line quotients with multiplicities
+      (equal to ``sorted(Counter(nb // epl).items())``).
+    """
+    offs = np.asarray(offs_desc, dtype=np.int64)
+    degs = np.asarray(degs_desc, dtype=np.int64)
+    n = len(offs)
+    total = int(degs.sum())
+    lane = np.repeat(np.arange(n), degs)
+    starts = np.zeros(n, dtype=np.int64)
+    np.cumsum(degs[:-1], out=starts[1:])
+    rounds = np.arange(total) - np.repeat(starts, degs)
+    pos = offs[lane] + rounds
+    by_round = np.argsort(rounds, kind="stable")
+    pos_r = pos[by_round]
+    round_r = rounds[by_round]
+    ends = np.cumsum(np.bincount(round_r)).tolist()
+
+    quot = pos_r // epl
+    order = np.lexsort((quot, round_r))
+    quot_s = quot[order]
+    round_s = round_r[order]
+    first = np.empty(total, dtype=bool)
+    first[0] = True
+    first[1:] = (quot_s[1:] != quot_s[:-1]) | (round_s[1:] != round_s[:-1])
+    qe_vals = quot_s[first].tolist()
+    qe_cuts = np.cumsum(np.bincount(round_s[first])).tolist()
+
+    nb = neigh_np[pos_r]
+    nbq = nb // epl
+    order = np.lexsort((nbq, round_r))
+    nbq_s = nbq[order]
+    round_s = round_r[order]
+    first = np.empty(total, dtype=bool)
+    first[0] = True
+    first[1:] = (nbq_s[1:] != nbq_s[:-1]) | (round_s[1:] != round_s[:-1])
+    idx = np.nonzero(first)[0]
+    nbq_vals = nbq_s[first].tolist()
+    nbq_counts = np.diff(np.append(idx, total)).tolist()
+    nbq_cuts = np.cumsum(np.bincount(round_s[first])).tolist()
+    return (ends, qe_vals, qe_cuts, nb.tolist(),
+            nbq_vals, nbq_counts, nbq_cuts)
+
+
+def _digest(arr) -> str:
+    """Content digest of an optional ndarray for memoization keys."""
+    if arr is None:
+        return "-"
+    a = np.ascontiguousarray(arr)
+    return (f"{a.dtype.str}{a.shape}:"
+            f"{hashlib.sha1(a.tobytes()).hexdigest()}")
+
 
 class TraceBuilder:
     """Builds :class:`KernelTrace` objects for one graph + system config."""
@@ -43,31 +153,98 @@ class TraceBuilder:
         self.graph = graph
         self.config = config
         self.amap = AddressMap(config.line_bytes, config.element_bytes)
-        # Touch the in-edge view eagerly so pull realizations are ready.
-        self._in_ready = False
+        self._pool = OpInterner()
+        self._memo: dict[tuple, KernelTrace] = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self._out_adj: tuple[list, list] | None = None
+        self._in_adj: tuple[list, list] | None = None
 
     # ------------------------------------------------------------------
     def realize(self, phase, direction: str) -> KernelTrace:
-        """Build the trace of one phase in the given direction."""
-        if isinstance(phase, VertexPhase):
-            return self._vertex(phase)
-        if isinstance(phase, DynamicPhase):
-            return self._dynamic(phase)
-        if isinstance(phase, EdgePhase):
-            if direction == "push":
-                return self._edge_push(phase)
-            if direction == "pull":
-                return self._edge_pull(phase)
-            raise ValueError(
-                f"direction must be 'push' or 'pull', got {direction!r}"
-            )
-        raise TypeError(f"unknown phase type {type(phase).__name__}")
+        """Build (or recall) the trace of one phase in the given direction.
+
+        Realized traces are memoized on a content fingerprint — phase
+        kind, name, scalars, array names, and SHA-1 digests of every mask
+        and index array (plus the direction for edge phases; vertex and
+        dynamic phases realize identically in both directions).  Unchanged
+        phases (dense PR phases, converged frontiers, the shared vertex
+        phases of a push+pull sweep) are therefore realized once per
+        workload and the cached :class:`KernelTrace` object is returned.
+        """
+        key = self._fingerprint(phase, direction)
+        memo = self._memo
+        trace = memo.pop(key, None)
+        if trace is not None:
+            memo[key] = trace  # re-insert: LRU refresh
+            self.memo_hits += 1
+            return trace
+        trace = self._build(phase, direction)
+        self.memo_misses += 1
+        memo[key] = trace
+        if len(memo) > _MEMO_CAPACITY:
+            del memo[next(iter(memo))]
+        return trace
 
     def realize_iteration(self, phases, direction: str) -> list[KernelTrace]:
         """Realize every phase of one iteration."""
         return [self.realize(phase, direction) for phase in phases]
 
     # ------------------------------------------------------------------
+    def _fingerprint(self, phase, direction: str) -> tuple:
+        if isinstance(phase, VertexPhase):
+            return ("vertex", phase.name, tuple(phase.read_arrays),
+                    tuple(phase.write_arrays), phase.compute,
+                    _digest(phase.active))
+        if isinstance(phase, DynamicPhase):
+            return ("dynamic", phase.name, phase.array,
+                    phase.compute_per_vertex, phase.store_self,
+                    _digest(phase.chain_offsets),
+                    _digest(phase.chain_values),
+                    _digest(phase.cas_targets), _digest(phase.active),
+                    _digest(phase.col_offsets), _digest(phase.col_values))
+        if isinstance(phase, EdgePhase):
+            return ("edge", direction, phase.name,
+                    tuple(phase.source_arrays), tuple(phase.target_arrays),
+                    tuple(phase.update_arrays), phase.uses_weights,
+                    phase.atomic_needs_value,
+                    phase.check_target_pred_in_push,
+                    phase.compute_per_edge,
+                    phase.pull_extra_compute_per_edge,
+                    phase.push_hoisted_compute,
+                    _digest(phase.source_active),
+                    _digest(phase.target_active))
+        raise TypeError(f"unknown phase type {type(phase).__name__}")
+
+    def _build(self, phase, direction: str) -> KernelTrace:
+        if isinstance(phase, VertexPhase):
+            return self._vertex(phase)
+        if isinstance(phase, DynamicPhase):
+            return self._dynamic(phase)
+        # EdgePhase (anything else was rejected by _fingerprint).
+        if direction == "push":
+            return self._edge_push(phase)
+        if direction == "pull":
+            return self._edge_pull(phase)
+        raise ValueError(
+            f"direction must be 'push' or 'pull', got {direction!r}"
+        )
+
+    # ------------------------------------------------------------------
+    def _out_lists(self) -> tuple[list, list]:
+        if self._out_adj is None:
+            g = self.graph
+            self._out_adj = (g.indptr.tolist(), g.indices.tolist())
+        return self._out_adj
+
+    def _in_lists(self) -> tuple[list, list]:
+        if self._in_adj is None:
+            g = self.graph
+            # First pull realization materializes the CSC view (and its
+            # list mirror) once; later pulls reuse it.
+            self._in_adj = (g.in_indptr.tolist(), g.in_indices.tolist())
+        return self._in_adj
+
     def _warp_ranges(self):
         cfg = self.config
         n = self.graph.num_vertices
@@ -79,114 +256,312 @@ class TraceBuilder:
             ]
             yield warps
 
-    def _load(self, region: str, indices) -> tuple:
-        return (1, tuple(self.amap.lines(region, indices).tolist()))
-
-    def _load_range(self, region: str, start: int, stop: int) -> tuple:
-        return (1, tuple(self.amap.line_range(region, start, stop).tolist()))
-
-    def _store(self, region: str, indices) -> tuple:
-        return (2, tuple(self.amap.lines(region, indices).tolist()))
-
-    def _atomic(self, region: str, indices, needs_value: bool) -> tuple:
-        return (3, tuple(self.amap.line_counts(region, indices)),
-                needs_value)
-
     # ------------------------------------------------------------------
     def _edge_push(self, ph: EdgePhase) -> KernelTrace:
-        g = self.graph
-        indptr, indices = g.indptr, g.indices
-        trace = KernelTrace(f"{ph.name}:push")
+        indptr, indices = self._out_lists()
+        indices_np = self.graph.indices
+        amap = self.amap
+        rb = amap.region_base
+        epl = amap.elements_per_line
+        pool_op = self._pool.op
+        src_list = (ph.source_active.tolist()
+                    if ph.source_active is not None else None)
         tgt_mask = ph.target_active
+        check_tpred = tgt_mask is not None and ph.check_target_pred_in_push
+        tgt_list = tgt_mask.tolist() if tgt_mask is not None else None
+        src_arrays = ph.source_arrays
+        tgt_arrays = ph.target_arrays
+        upd_arrays = ph.update_arrays
+        uses_weights = ph.uses_weights
+        needs_value = ph.atomic_needs_value
+        compute_op = pool_op((OP_COMPUTE, ph.compute_per_edge))
+        hoist = ph.push_hoisted_compute
+        hoist_op = pool_op((OP_COMPUTE, hoist)) if hoist else None
+        trace = KernelTrace(f"{ph.name}:push")
         for warp_ranges in self._warp_ranges():
             warps = []
             for w_start, w_end in warp_ranges:
+                b = rb("row_ptr")
                 ops = [_ACQUIRE,
-                       self._load_range("row_ptr", w_start, w_end + 1)]
-                if ph.source_active is not None:
-                    ops.append(self._load_range(STATE_ARRAY, w_start, w_end))
-                    act = w_start + np.nonzero(
-                        ph.source_active[w_start:w_end]
-                    )[0]
+                       pool_op((OP_LOAD, tuple(range(
+                           b + w_start // epl, b + w_end // epl + 1))))]
+                if src_list is not None:
+                    b = rb(STATE_ARRAY)
+                    ops.append(pool_op((OP_LOAD, tuple(range(
+                        b + w_start // epl, b + (w_end - 1) // epl + 1)))))
+                    act = [v for v in range(w_start, w_end) if src_list[v]]
                 else:
-                    act = np.arange(w_start, w_end, dtype=np.int64)
-                if act.size:
-                    offs = indptr[act]
-                    degs = indptr[act + 1] - offs
-                    for arr in ph.source_arrays:
-                        ops.append(self._load(arr, act))
-                    if ph.push_hoisted_compute:
-                        ops.append((OP_COMPUTE, ph.push_hoisted_compute))
-                    max_deg = int(degs.max()) if degs.size else 0
-                    check_tpred = (tgt_mask is not None
-                                   and ph.check_target_pred_in_push)
-                    for r in range(max_deg):
-                        sel = degs > r
-                        epos = offs[sel] + r
-                        targets = indices[epos]
-                        ops.append(self._load("col_idx", epos))
-                        if ph.uses_weights:
-                            ops.append(self._load("weights", epos))
-                        if check_tpred:
-                            ops.append(self._load(STATE_ARRAY, targets))
-                            targets = targets[tgt_mask[targets]]
-                        if targets.size:
-                            for arr in ph.target_arrays:
-                                ops.append(self._load(arr, targets))
-                        ops.append((OP_COMPUTE, ph.compute_per_edge))
-                        if targets.size:
-                            for arr in ph.update_arrays:
-                                ops.append(self._atomic(
-                                    arr, targets, ph.atomic_needs_value,
-                                ))
+                    act = list(range(w_start, w_end))
+                if act:
+                    offs = [indptr[v] for v in act]
+                    degs = [indptr[v + 1] - o for v, o in zip(act, offs)]
+                    if src_arrays:
+                        q = sorted({v // epl for v in act})
+                        for arr in src_arrays:
+                            b = rb(arr)
+                            ops.append(pool_op(
+                                (OP_LOAD, tuple(b + x for x in q))))
+                    if hoist_op is not None:
+                        ops.append(hoist_op)
+                    max_deg = max(degs)
+                    if max_deg and sum(degs) >= _VEC_THRESHOLD:
+                        # Lanes in degree-descending order: round r's
+                        # active set is a prefix.  Lane order within a
+                        # round is irrelevant — every consumer below
+                        # sorts/dedups.
+                        order = sorted(range(len(act)),
+                                       key=degs.__getitem__, reverse=True)
+                        (ends, qe_vals, qe_cuts, nb_vals, nbq_vals,
+                         nbq_counts, nbq_cuts) = _round_tables(
+                            [offs[i] for i in order],
+                            [degs[i] for i in order], indices_np, epl)
+                        e0 = q0 = n0 = 0
+                        for r in range(max_deg):
+                            q1 = qe_cuts[r]
+                            qe = qe_vals[q0:q1]
+                            q0 = q1
+                            b = rb("col_idx")
+                            ops.append(pool_op(
+                                (OP_LOAD, tuple([b + x for x in qe]))))
+                            if uses_weights:
+                                b = rb("weights")
+                                ops.append(pool_op(
+                                    (OP_LOAD, tuple([b + x for x in qe]))))
+                            e1 = ends[r]
+                            n1 = nbq_cuts[r]
+                            if check_tpred:
+                                qt = nbq_vals[n0:n1]
+                                b = rb(STATE_ARRAY)
+                                ops.append(pool_op(
+                                    (OP_LOAD, tuple([b + x for x in qt]))))
+                                targets = [t for t in nb_vals[e0:e1]
+                                           if tgt_list[t]]
+                                if targets:
+                                    qt = sorted({t // epl
+                                                 for t in targets})
+                                    for arr in tgt_arrays:
+                                        b = rb(arr)
+                                        ops.append(pool_op(
+                                            (OP_LOAD,
+                                             tuple([b + x for x in qt]))))
+                                ops.append(compute_op)
+                                if targets:
+                                    counts: dict[int, int] = {}
+                                    for t in targets:
+                                        x = t // epl
+                                        counts[x] = counts.get(x, 0) + 1
+                                    items = sorted(counts.items())
+                                    for arr in upd_arrays:
+                                        b = rb(arr)
+                                        ops.append(pool_op((
+                                            OP_ATOMIC,
+                                            tuple((b + x, c)
+                                                  for x, c in items),
+                                            needs_value)))
+                            else:
+                                qt = nbq_vals[n0:n1]
+                                for arr in tgt_arrays:
+                                    b = rb(arr)
+                                    ops.append(pool_op(
+                                        (OP_LOAD,
+                                         tuple([b + x for x in qt]))))
+                                ops.append(compute_op)
+                                if upd_arrays:
+                                    cts = nbq_counts[n0:n1]
+                                    for arr in upd_arrays:
+                                        b = rb(arr)
+                                        ops.append(pool_op((
+                                            OP_ATOMIC,
+                                            tuple(zip(
+                                                [b + x for x in qt],
+                                                cts)),
+                                            needs_value)))
+                            e0 = e1
+                            n0 = n1
+                    elif max_deg:
+                        order = sorted(range(len(act)),
+                                       key=degs.__getitem__, reverse=True)
+                        offs_desc = [offs[i] for i in order]
+                        degs_asc = sorted(degs)
+                        nlanes = len(act)
+                        for r in range(max_deg):
+                            k = nlanes - bisect_right(degs_asc, r)
+                            epos = [o + r for o in offs_desc[:k]]
+                            qe = sorted({e // epl for e in epos})
+                            b = rb("col_idx")
+                            ops.append(pool_op(
+                                (OP_LOAD, tuple(b + x for x in qe))))
+                            if uses_weights:
+                                b = rb("weights")
+                                ops.append(pool_op(
+                                    (OP_LOAD, tuple(b + x for x in qe))))
+                            targets = [indices[e] for e in epos]
+                            if check_tpred:
+                                qt = sorted({t // epl for t in targets})
+                                b = rb(STATE_ARRAY)
+                                ops.append(pool_op(
+                                    (OP_LOAD, tuple(b + x for x in qt))))
+                                targets = [t for t in targets
+                                           if tgt_list[t]]
+                            if targets:
+                                qt = sorted({t // epl for t in targets})
+                                for arr in tgt_arrays:
+                                    b = rb(arr)
+                                    ops.append(pool_op(
+                                        (OP_LOAD,
+                                         tuple(b + x for x in qt))))
+                            ops.append(compute_op)
+                            if targets:
+                                counts = {}
+                                for t in targets:
+                                    x = t // epl
+                                    counts[x] = counts.get(x, 0) + 1
+                                items = sorted(counts.items())
+                                for arr in upd_arrays:
+                                    b = rb(arr)
+                                    ops.append(pool_op((
+                                        OP_ATOMIC,
+                                        tuple((b + x, c)
+                                              for x, c in items),
+                                        needs_value)))
                 ops.append(_RELEASE)
                 warps.append(ops)
             trace.add_block(warps)
         return trace
 
     def _edge_pull(self, ph: EdgePhase) -> KernelTrace:
-        g = self.graph
-        in_indptr, in_indices = g.in_indptr, g.in_indices
-        trace = KernelTrace(f"{ph.name}:pull")
+        in_indptr, in_indices = self._in_lists()
+        in_indices_np = self.graph.in_indices
+        amap = self.amap
+        rb = amap.region_base
+        epl = amap.elements_per_line
+        pool_op = self._pool.op
+        tgt_list = (ph.target_active.tolist()
+                    if ph.target_active is not None else None)
         src_mask = ph.source_active
+        src_list = src_mask.tolist() if src_mask is not None else None
+        src_arrays = ph.source_arrays
+        tgt_arrays = ph.target_arrays
+        upd_arrays = ph.update_arrays
+        uses_weights = ph.uses_weights
+        compute_op = pool_op((
+            OP_COMPUTE,
+            ph.compute_per_edge + ph.pull_extra_compute_per_edge))
+        trace = KernelTrace(f"{ph.name}:pull")
         for warp_ranges in self._warp_ranges():
             warps = []
             for w_start, w_end in warp_ranges:
+                b = rb("in_row_ptr")
                 ops = [_ACQUIRE,
-                       self._load_range("in_row_ptr", w_start, w_end + 1)]
-                if ph.target_active is not None:
-                    ops.append(self._load_range(STATE_ARRAY, w_start, w_end))
-                    act = w_start + np.nonzero(
-                        ph.target_active[w_start:w_end]
-                    )[0]
+                       pool_op((OP_LOAD, tuple(range(
+                           b + w_start // epl, b + w_end // epl + 1))))]
+                if tgt_list is not None:
+                    b = rb(STATE_ARRAY)
+                    ops.append(pool_op((OP_LOAD, tuple(range(
+                        b + w_start // epl, b + (w_end - 1) // epl + 1)))))
+                    act = [v for v in range(w_start, w_end) if tgt_list[v]]
                 else:
-                    act = np.arange(w_start, w_end, dtype=np.int64)
-                if act.size:
-                    offs = in_indptr[act]
-                    degs = in_indptr[act + 1] - offs
-                    for arr in ph.target_arrays:
-                        ops.append(self._load(arr, act))
-                    pull_compute = (ph.compute_per_edge
-                                    + ph.pull_extra_compute_per_edge)
-                    max_deg = int(degs.max()) if degs.size else 0
-                    for r in range(max_deg):
-                        sel = degs > r
-                        epos = offs[sel] + r
-                        sources = in_indices[epos]
-                        ops.append(self._load("in_col_idx", epos))
-                        if ph.uses_weights:
-                            ops.append(self._load("in_weights", epos))
-                        if src_mask is not None:
-                            ops.append(self._load(STATE_ARRAY, sources))
-                            sources = sources[src_mask[sources]]
-                        if sources.size:
-                            # The blocking sparse remote reads of Figure 1.
-                            for arr in ph.source_arrays:
-                                ops.append(self._load(arr, sources))
-                        ops.append((OP_COMPUTE, pull_compute))
+                    act = list(range(w_start, w_end))
+                if act:
+                    offs = [in_indptr[v] for v in act]
+                    degs = [in_indptr[v + 1] - o
+                            for v, o in zip(act, offs)]
+                    if tgt_arrays:
+                        q = sorted({v // epl for v in act})
+                        for arr in tgt_arrays:
+                            b = rb(arr)
+                            ops.append(pool_op(
+                                (OP_LOAD, tuple(b + x for x in q))))
+                    max_deg = max(degs)
+                    if max_deg and sum(degs) >= _VEC_THRESHOLD:
+                        order = sorted(range(len(act)),
+                                       key=degs.__getitem__, reverse=True)
+                        (ends, qe_vals, qe_cuts, nb_vals, nbq_vals,
+                         _nbq_counts, nbq_cuts) = _round_tables(
+                            [offs[i] for i in order],
+                            [degs[i] for i in order], in_indices_np, epl)
+                        e0 = q0 = n0 = 0
+                        for r in range(max_deg):
+                            q1 = qe_cuts[r]
+                            qe = qe_vals[q0:q1]
+                            q0 = q1
+                            b = rb("in_col_idx")
+                            ops.append(pool_op(
+                                (OP_LOAD, tuple([b + x for x in qe]))))
+                            if uses_weights:
+                                b = rb("in_weights")
+                                ops.append(pool_op(
+                                    (OP_LOAD, tuple([b + x for x in qe]))))
+                            e1 = ends[r]
+                            n1 = nbq_cuts[r]
+                            if src_list is not None:
+                                qs = nbq_vals[n0:n1]
+                                b = rb(STATE_ARRAY)
+                                ops.append(pool_op(
+                                    (OP_LOAD, tuple([b + x for x in qs]))))
+                                sources = [s for s in nb_vals[e0:e1]
+                                           if src_list[s]]
+                                if sources:
+                                    qs = sorted({s // epl
+                                                 for s in sources})
+                                    for arr in src_arrays:
+                                        b = rb(arr)
+                                        ops.append(pool_op(
+                                            (OP_LOAD,
+                                             tuple([b + x for x in qs]))))
+                            else:
+                                # The blocking sparse remote reads of
+                                # Figure 1.
+                                qs = nbq_vals[n0:n1]
+                                for arr in src_arrays:
+                                    b = rb(arr)
+                                    ops.append(pool_op(
+                                        (OP_LOAD,
+                                         tuple([b + x for x in qs]))))
+                            ops.append(compute_op)
+                            e0 = e1
+                            n0 = n1
+                    elif max_deg:
+                        order = sorted(range(len(act)),
+                                       key=degs.__getitem__, reverse=True)
+                        offs_desc = [offs[i] for i in order]
+                        degs_asc = sorted(degs)
+                        nlanes = len(act)
+                        for r in range(max_deg):
+                            k = nlanes - bisect_right(degs_asc, r)
+                            epos = [o + r for o in offs_desc[:k]]
+                            qe = sorted({e // epl for e in epos})
+                            b = rb("in_col_idx")
+                            ops.append(pool_op(
+                                (OP_LOAD, tuple(b + x for x in qe))))
+                            if uses_weights:
+                                b = rb("in_weights")
+                                ops.append(pool_op(
+                                    (OP_LOAD, tuple(b + x for x in qe))))
+                            sources = [in_indices[e] for e in epos]
+                            if src_list is not None:
+                                qs = sorted({s // epl for s in sources})
+                                b = rb(STATE_ARRAY)
+                                ops.append(pool_op(
+                                    (OP_LOAD, tuple(b + x for x in qs))))
+                                sources = [s for s in sources
+                                           if src_list[s]]
+                            if sources:
+                                # The blocking sparse remote reads of
+                                # Figure 1.
+                                qs = sorted({s // epl for s in sources})
+                                for arr in src_arrays:
+                                    b = rb(arr)
+                                    ops.append(pool_op(
+                                        (OP_LOAD,
+                                         tuple(b + x for x in qs))))
+                            ops.append(compute_op)
                     # Dense, non-atomic local updates (one per target).
-                    for arr in ph.update_arrays:
-                        ops.append(self._store(arr, act))
+                    q = sorted({v // epl for v in act})
+                    for arr in upd_arrays:
+                        b = rb(arr)
+                        ops.append(pool_op(
+                            (OP_STORE, tuple(b + x for x in q))))
                 ops.append(_RELEASE)
                 warps.append(ops)
             trace.add_block(warps)
@@ -194,22 +569,35 @@ class TraceBuilder:
 
     # ------------------------------------------------------------------
     def _vertex(self, ph: VertexPhase) -> KernelTrace:
+        amap = self.amap
+        rb = amap.region_base
+        epl = amap.elements_per_line
+        pool_op = self._pool.op
+        act_list = ph.active.tolist() if ph.active is not None else None
+        compute_op = pool_op((OP_COMPUTE, ph.compute))
         trace = KernelTrace(f"{ph.name}:vertex")
         for warp_ranges in self._warp_ranges():
             warps = []
             for w_start, w_end in warp_ranges:
                 ops = [_ACQUIRE]
-                if ph.active is not None:
-                    ops.append(self._load_range(STATE_ARRAY, w_start, w_end))
-                    act = w_start + np.nonzero(ph.active[w_start:w_end])[0]
+                if act_list is not None:
+                    b = rb(STATE_ARRAY)
+                    ops.append(pool_op((OP_LOAD, tuple(range(
+                        b + w_start // epl, b + (w_end - 1) // epl + 1)))))
+                    act = [v for v in range(w_start, w_end) if act_list[v]]
                 else:
-                    act = np.arange(w_start, w_end, dtype=np.int64)
-                if act.size:
+                    act = list(range(w_start, w_end))
+                if act:
+                    q = sorted({v // epl for v in act})
                     for arr in ph.read_arrays:
-                        ops.append(self._load(arr, act))
-                    ops.append((OP_COMPUTE, ph.compute))
+                        b = rb(arr)
+                        ops.append(pool_op(
+                            (OP_LOAD, tuple(b + x for x in q))))
+                    ops.append(compute_op)
                     for arr in ph.write_arrays:
-                        ops.append(self._store(arr, act))
+                        b = rb(arr)
+                        ops.append(pool_op(
+                            (OP_STORE, tuple(b + x for x in q))))
                 ops.append(_RELEASE)
                 warps.append(ops)
             trace.add_block(warps)
@@ -217,48 +605,92 @@ class TraceBuilder:
 
     # ------------------------------------------------------------------
     def _dynamic(self, ph: DynamicPhase) -> KernelTrace:
+        amap = self.amap
+        rb = amap.region_base
+        epl = amap.elements_per_line
+        pool_op = self._pool.op
+        offsets = ph.chain_offsets.tolist()
+        values = ph.chain_values.tolist()
+        col_offsets = (ph.col_offsets.tolist()
+                       if ph.col_offsets is not None else None)
+        col_values = (ph.col_values.tolist()
+                      if ph.col_values is not None else None)
+        cas_targets = (ph.cas_targets.tolist()
+                       if ph.cas_targets is not None else None)
+        act_list = ph.active.tolist() if ph.active is not None else None
+        compute_op = pool_op((OP_COMPUTE, ph.compute_per_vertex))
         trace = KernelTrace(f"{ph.name}:dynamic")
-        offsets = ph.chain_offsets
-        values = ph.chain_values
         for warp_ranges in self._warp_ranges():
             warps = []
             for w_start, w_end in warp_ranges:
                 ops = [_ACQUIRE]
-                if ph.active is not None:
-                    ops.append(self._load_range(STATE_ARRAY, w_start, w_end))
-                    act = w_start + np.nonzero(ph.active[w_start:w_end])[0]
+                if act_list is not None:
+                    b = rb(STATE_ARRAY)
+                    ops.append(pool_op((OP_LOAD, tuple(range(
+                        b + w_start // epl, b + (w_end - 1) // epl + 1)))))
+                    act = [v for v in range(w_start, w_end) if act_list[v]]
                 else:
-                    act = np.arange(w_start, w_end, dtype=np.int64)
-                if act.size:
-                    chain_off = offsets[act]
-                    chain_len = offsets[act + 1] - chain_off
-                    if ph.col_offsets is not None:
-                        col_off = ph.col_offsets[act]
-                        col_len = ph.col_offsets[act + 1] - col_off
+                    act = list(range(w_start, w_end))
+                if act:
+                    chain_off = [offsets[v] for v in act]
+                    chain_len = [offsets[v + 1] - o
+                                 for v, o in zip(act, chain_off)]
+                    chain_pairs = sorted(
+                        zip(chain_len, chain_off), reverse=True)
+                    chain_asc = sorted(chain_len)
+                    max_len = chain_pairs[0][0]
+                    if col_offsets is not None:
+                        col_off = [col_offsets[v] for v in act]
+                        col_len = [col_offsets[v + 1] - o
+                                   for v, o in zip(act, col_off)]
+                        col_pairs = sorted(
+                            zip(col_len, col_off), reverse=True)
+                        col_asc = sorted(col_len)
+                        if col_pairs[0][0] > max_len:
+                            max_len = col_pairs[0][0]
                     else:
-                        col_len = np.zeros_like(chain_len)
-                    max_len = int(max(chain_len.max(initial=0),
-                                      col_len.max(initial=0)))
+                        col_asc = None
+                    nlanes = len(act)
                     for r in range(max_len):
-                        col_sel = col_len > r
-                        if col_sel.any():
-                            epos = ph.col_values[col_off[col_sel] + r]
-                            ops.append(self._load("col_idx", epos))
-                        sel = chain_len > r
-                        if sel.any():
-                            reads = values[chain_off[sel] + r]
-                            ops.append(self._load(ph.array, reads))
-                        ops.append((OP_COMPUTE, ph.compute_per_vertex))
+                        if col_asc is not None:
+                            k = nlanes - bisect_right(col_asc, r)
+                            if k:
+                                epos = [col_values[o + r]
+                                        for _, o in col_pairs[:k]]
+                                q = sorted({e // epl for e in epos})
+                                b = rb("col_idx")
+                                ops.append(pool_op(
+                                    (OP_LOAD, tuple(b + x for x in q))))
+                        k = nlanes - bisect_right(chain_asc, r)
+                        if k:
+                            reads = [values[o + r]
+                                     for _, o in chain_pairs[:k]]
+                            q = sorted({i // epl for i in reads})
+                            b = rb(ph.array)
+                            ops.append(pool_op(
+                                (OP_LOAD, tuple(b + x for x in q))))
+                        ops.append(compute_op)
                     if ph.store_self:
-                        ops.append(self._store(ph.array, act))
-                    if ph.cas_targets is not None:
-                        cas = ph.cas_targets[act]
-                        cas = cas[cas >= 0]
-                        if cas.size:
-                            # CAS results steer control flow: always blocking.
-                            ops.append(self._atomic(
-                                ph.array, cas, needs_value=True
-                            ))
+                        q = sorted({v // epl for v in act})
+                        b = rb(ph.array)
+                        ops.append(pool_op(
+                            (OP_STORE, tuple(b + x for x in q))))
+                    if cas_targets is not None:
+                        cas = [c for c in (cas_targets[v] for v in act)
+                               if c >= 0]
+                        if cas:
+                            # CAS results steer control flow: always
+                            # blocking.
+                            counts: dict[int, int] = {}
+                            for c in cas:
+                                x = c // epl
+                                counts[x] = counts.get(x, 0) + 1
+                            items = sorted(counts.items())
+                            b = rb(ph.array)
+                            ops.append(pool_op((
+                                OP_ATOMIC,
+                                tuple((b + x, c) for x, c in items),
+                                True)))
                 ops.append(_RELEASE)
                 warps.append(ops)
             trace.add_block(warps)

@@ -15,6 +15,7 @@ from .engine import ExecutionResult, GPUSimulator, simulate
 from .stalls import CATEGORIES, StallBreakdown
 from .trace import (
     KernelTrace,
+    OpInterner,
     acquire,
     atomic,
     barrier,
@@ -49,6 +50,7 @@ __all__ = [
     "StallBreakdown",
     "CATEGORIES",
     "KernelTrace",
+    "OpInterner",
     "compute",
     "load",
     "store",

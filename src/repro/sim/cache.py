@@ -7,13 +7,16 @@ installs ``OWNED`` for written/atomic data.
 
 Self-invalidation is **epoch-based** so that the per-atomic invalidations
 of DRF0 cost O(1): every entry records the epoch it was installed in, and
-``invalidate_valid_epoch``/``invalidate_all_epoch`` simply bump the
-cache's epoch.  VALID entries from older epochs count as misses (and are
-dropped when touched); OWNED entries are immune to the VALID epoch.
+``invalidate_valid``/``invalidate_all`` simply bump the cache's epoch.
+VALID entries from older epochs count as misses (and are dropped when
+touched); OWNED entries are immune to the VALID epoch.
 
 Each set is a Python dict used as an LRU (insertion order; touching a
-line deletes and reinserts it), which profiles well at the op rates the
-engine produces.
+line deletes and reinserts it).  Entries are packed ints —
+``(epoch << 2) | state`` — and the liveness check is inlined into
+``lookup``/``install``: the engine performs millions of lookups and an
+install scans up to ``assoc`` candidate victims, so a per-entry method
+call (the old ``_live_state`` helper) dominated simulation time.
 """
 
 from __future__ import annotations
@@ -23,9 +26,15 @@ __all__ = ["VALID", "OWNED", "SetAssocCache"]
 VALID = 1
 OWNED = 2
 
+_STATE_MASK = 3
+_EPOCH_SHIFT = 2
+
 
 class SetAssocCache:
     """A set-associative, LRU-replacement cache keyed by line id."""
+
+    __slots__ = ("assoc", "num_sets", "num_lines", "_sets",
+                 "_valid_epoch", "_all_epoch")
 
     def __init__(self, num_lines: int, assoc: int) -> None:
         if num_lines <= 0 or assoc <= 0:
@@ -35,18 +44,17 @@ class SetAssocCache:
         self.assoc = assoc
         self.num_sets = max(1, num_lines // assoc)
         self.num_lines = self.num_sets * assoc
-        # entry: line -> (state, valid_epoch, owned_epoch)
-        self._sets: list[dict[int, tuple[int, int]]] = [
+        # entry: line -> (epoch << 2) | state
+        self._sets: list[dict[int, int]] = [
             dict() for _ in range(self.num_sets)
         ]
         self._valid_epoch = 0
         self._all_epoch = 0
 
-    def _set_of(self, line: int) -> dict[int, tuple[int, int]]:
-        return self._sets[line % self.num_sets]
-
-    def _live_state(self, entry: tuple[int, int]) -> int | None:
-        state, epoch = entry
+    def _live_state(self, entry: int) -> int | None:
+        """Live state of a packed entry, or None when epoch-invalidated."""
+        epoch = entry >> _EPOCH_SHIFT
+        state = entry & _STATE_MASK
         if epoch < self._all_epoch:
             return None
         if state == VALID and epoch < self._valid_epoch:
@@ -55,54 +63,72 @@ class SetAssocCache:
 
     def lookup(self, line: int) -> int | None:
         """Return the line's live state (touching LRU) or None on miss."""
-        cache_set = self._set_of(line)
-        entry = cache_set.get(line)
+        cache_set = self._sets[line % self.num_sets]
+        entry = cache_set.pop(line, None)
         if entry is None:
             return None
-        state = self._live_state(entry)
-        del cache_set[line]
-        if state is None:
+        epoch = entry >> _EPOCH_SHIFT
+        state = entry & _STATE_MASK
+        if epoch < self._all_epoch or (
+            state == VALID and epoch < self._valid_epoch
+        ):
             return None
         cache_set[line] = entry
         return state
 
     def peek(self, line: int) -> int | None:
         """Return the line's live state without touching LRU order."""
-        entry = self._set_of(line).get(line)
+        entry = self._sets[line % self.num_sets].get(line)
         if entry is None:
             return None
-        return self._live_state(entry)
+        epoch = entry >> _EPOCH_SHIFT
+        state = entry & _STATE_MASK
+        if epoch < self._all_epoch or (
+            state == VALID and epoch < self._valid_epoch
+        ):
+            return None
+        return state
 
     def install(self, line: int, state: int) -> tuple[int, int] | None:
         """Insert/overwrite a line; return an evicted live (line, state)."""
-        if state not in (VALID, OWNED):
+        if state != VALID and state != OWNED:
             raise ValueError("state must be VALID or OWNED")
-        cache_set = self._set_of(line)
-        epoch = max(self._valid_epoch, self._all_epoch)
+        cache_set = self._sets[line % self.num_sets]
+        valid_epoch = self._valid_epoch
+        all_epoch = self._all_epoch
+        epoch = valid_epoch if valid_epoch > all_epoch else all_epoch
+        packed = (epoch << _EPOCH_SHIFT) | state
         if line in cache_set:
             del cache_set[line]
-            cache_set[line] = (state, epoch)
+            cache_set[line] = packed
             return None
         evicted = None
         if len(cache_set) >= self.assoc:
-            # Prefer evicting a stale (epoch-invalidated) entry.
+            # Prefer evicting a stale (epoch-invalidated) entry.  A cache
+            # that was never epoch-invalidated (epochs still 0 — notably
+            # the shared L2, which no protocol invalidates) cannot hold
+            # stale entries, so the scan is skipped.
             victim = None
-            for cand, entry in cache_set.items():
-                if self._live_state(entry) is None:
-                    victim = cand
-                    break
+            if valid_epoch or all_epoch:
+                for cand, entry in cache_set.items():
+                    cand_epoch = entry >> _EPOCH_SHIFT
+                    if cand_epoch < all_epoch or (
+                        (entry & _STATE_MASK) == VALID
+                        and cand_epoch < valid_epoch
+                    ):
+                        victim = cand
+                        break
             if victim is None:
                 victim = next(iter(cache_set))
-                v_state = self._live_state(cache_set[victim])
-                if v_state is not None:
-                    evicted = (victim, v_state)
+                # No stale candidate exists, so the LRU victim is live.
+                evicted = (victim, cache_set[victim] & _STATE_MASK)
             del cache_set[victim]
-        cache_set[line] = (state, epoch)
+        cache_set[line] = packed
         return evicted
 
     def invalidate(self, line: int) -> None:
         """Drop one line if present."""
-        self._set_of(line).pop(line, None)
+        self._sets[line % self.num_sets].pop(line, None)
 
     def invalidate_valid(self) -> None:
         """Self-invalidate every VALID line (DeNovo acquire); keep OWNED."""

@@ -14,6 +14,7 @@ coherence, owning L1 for DeNovo).
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field, fields
 
 from ..cache import OWNED, VALID, SetAssocCache
@@ -102,6 +103,20 @@ class MemorySystem:
         # Per-SM L1 atomic unit (DeNovo executes atomics at the owner L1,
         # which is a throughput-limited resource just like an L2 bank).
         self._l1_atomic_free = [0.0] * config.num_sms
+        # Latency-model constants, predigested so the per-line service
+        # loops do integer arithmetic instead of SystemConfig method
+        # calls.  `% span1` with span1 == 1 yields 0, so the zero-span
+        # special case in SystemConfig collapses into the same formula.
+        self._l2_banks = config.l2_banks
+        self._mem_channels = config.mem_channels
+        self._l2_lat_min = config.l2_latency_min
+        self._l2_span1 = config.l2_latency_max - config.l2_latency_min + 1
+        self._mem_lat_min = config.mem_latency_min
+        self._mem_span1 = config.mem_latency_max - config.mem_latency_min + 1
+        self._rl1_min = config.remote_l1_latency_min
+        self._rl1_span1 = (config.remote_l1_latency_max
+                           - config.remote_l1_latency_min + 1)
+        self._mem_occupancy = config.mem_occupancy
 
     # ------------------------------------------------------------------
     # Shared helpers
@@ -115,25 +130,52 @@ class MemorySystem:
         (bank occupancy, DRAM channel occupancy).  Returns the time the
         response reaches the requesting core.
         """
-        cfg = self.config
-        bank = line % cfg.l2_banks
-        start = self._l2_bank_free[bank]
+        bank = line % self._l2_banks
+        banks_free = self._l2_bank_free
+        start = banks_free[bank]
         if start < now:
             start = now
-        self._l2_bank_free[bank] = start + hold
-        if self.l2.lookup(line) is not None:
-            self.stats.l2_hits += 1
-            return start + hold + cfg.l2_latency(sm, line)
+        banks_free[bank] = start + hold
+        l2_lat = self._l2_lat_min + (bank + sm) % self._l2_span1
+        # L2 lookup + VALID install, inlined (this is the hottest call in
+        # the simulator).  The epoch checks mirror SetAssocCache.lookup;
+        # on a miss the line is known absent (pop above removed any stale
+        # entry), and no protocol ever epoch-invalidates the shared L2,
+        # so the stale-victim scan is unnecessary.
+        l2 = self.l2
+        cache_set = l2._sets[line % l2.num_sets]
+        entry = cache_set.pop(line, None)
+        valid_epoch = l2._valid_epoch
+        all_epoch = l2._all_epoch
+        if entry is not None:
+            epoch = entry >> 2
+            if epoch >= all_epoch and (
+                entry & 3 != VALID or epoch >= valid_epoch
+            ):
+                cache_set[line] = entry
+                self.stats.l2_hits += 1
+                return start + hold + l2_lat
         self.stats.l2_misses += 1
-        self.l2.install(line, VALID)
-        channel = line % cfg.mem_channels
-        mem_start = self._mem_channel_free[channel]
+        if len(cache_set) >= l2.assoc:
+            if valid_epoch or all_epoch:
+                l2.install(line, VALID)
+            else:
+                del cache_set[next(iter(cache_set))]
+                cache_set[line] = VALID
+        else:
+            epoch = valid_epoch if valid_epoch > all_epoch else all_epoch
+            cache_set[line] = (epoch << 2) | VALID
+        channels_free = self._mem_channel_free
+        channel = line % self._mem_channels
+        mem_start = channels_free[channel]
         issue = start + hold
         if mem_start < issue:
             mem_start = issue
-        self._mem_channel_free[channel] = mem_start + cfg.mem_occupancy
-        return (mem_start + cfg.mem_occupancy
-                + cfg.mem_latency(sm, line) + cfg.l2_latency(sm, line))
+        mem_occ = self._mem_occupancy
+        channels_free[channel] = mem_start + mem_occ
+        return (mem_start + mem_occ
+                + self._mem_lat_min + (bank + sm) % self._mem_span1
+                + l2_lat)
 
     def _install_l1(
         self, sm: int, line: int, state: int, now: float = 0.0
@@ -193,3 +235,53 @@ class MemorySystem:
     def acquire(self, sm: int) -> int:
         """Apply acquire-side invalidation; return its pipeline cost."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Batched atomic entry points (subclasses override with specialized
+    # loops; these reference implementations define the semantics).
+    # ------------------------------------------------------------------
+    def atomic_round(
+        self, sm: int, pairs: tuple, floor: float, issue: float
+    ) -> tuple[float, int]:
+        """Service one warp atomic instruction's ``(line, count)`` pairs.
+
+        Every pair issues at ``issue`` with program-order floor ``floor``
+        (the pairs belong to different lanes, so they are concurrent).
+        Returns ``(done, lanes)``: the latest completion (at least
+        ``floor``) and the total lane count.
+        """
+        atomic = self.atomic
+        done = floor
+        lanes = 0
+        for line, count in pairs:
+            lanes += count
+            completion = atomic(sm, line, count, floor, issue=issue)
+            if completion > done:
+                done = completion
+        return done, lanes
+
+    def atomic_window(
+        self, sm: int, pairs: tuple, now: float,
+        outstanding: list, window: int,
+    ) -> tuple[float, float]:
+        """Service pairs through a DRFrlx MLP window.
+
+        ``outstanding`` is the warp's sorted list of in-flight atomic
+        completions, mutated in place.  A pair whose window is full
+        blocks until the oldest in-flight completion retires.  Returns
+        ``(t, last_completion)``: the issue floor after the final pair
+        and the latest completion.
+        """
+        atomic = self.atomic
+        t = now
+        last = now
+        for line, count in pairs:
+            while outstanding and outstanding[0] <= t:
+                del outstanding[0]
+            if len(outstanding) >= window:
+                t = outstanding.pop(0)
+            completion = atomic(sm, line, count, t, issue=now)
+            if completion > last:
+                last = completion
+            insort(outstanding, completion)
+        return t, last

@@ -12,6 +12,8 @@
 
 from __future__ import annotations
 
+from bisect import insort
+
 from ..cache import OWNED, VALID
 from .base import MemorySystem
 
@@ -47,7 +49,7 @@ class DeNovoCoherence(MemorySystem):
             self.stats.atomics_remote_transfer += 1
             self.l1s[holder].invalidate(line)
             ready = (self._forward_delay(line, now)
-                     + cfg.remote_l1_latency(sm, holder))
+                     + self._rl1_min + abs(sm - holder) % self._rl1_span1)
         else:
             ready = self._l2_service(sm, line, now, cfg.l2_bank_occupancy)
         self.stats.ownership_registrations += 1
@@ -56,51 +58,196 @@ class DeNovoCoherence(MemorySystem):
         return ready
 
     def load(self, sm: int, lines: tuple, now: float) -> float:
+        # Hit path inlined against the packed cache entries exactly as in
+        # GPUCoherence.load, and the miss path inlines the L2 service,
+        # directory forwarding, and the L1 refill (`_install_l1`).  A
+        # DeNovo L1 can hold OWNED lines, so an evicted live OWNED victim
+        # books its ownership writeback exactly as `_install_l1` does.
+        # Epochs are loop invariants: nothing below invalidates this L1
+        # or the shared L2.
         l1 = self.l1s[sm]
+        l1_sets = l1._sets
+        l1_nsets = l1.num_sets
+        l1_assoc = l1.assoc
+        # ``invalidate_valid``/``invalidate_all`` keep valid_epoch >=
+        # all_epoch, so a packed entry is live iff it survives the VALID
+        # epoch (any state), or it is OWNED (bit 2) and survives the ALL
+        # epoch — two integer compares on the packed value.
+        ve4 = l1._valid_epoch << 2
+        ae4 = l1._all_epoch << 2
+        packed_valid = ve4 | VALID
         cfg = self.config
-        stats = self.stats
+        l1_lat = cfg.l1_hit_latency
+        l2_lat_min = cfg.l2_latency_min
+        bank_occ = cfg.l2_bank_occupancy
+        rl1_min = self._rl1_min
+        rl1_span1 = self._rl1_span1
+        l2 = self.l2
+        l2_sets = l2._sets
+        l2_nsets = l2.num_sets
+        l2_assoc = l2.assoc
+        l2_live_min = l2._valid_epoch << 2
+        l2_packed_valid = l2_live_min | VALID
+        l2_install = l2.install
+        l2_banks = self._l2_banks
+        l2_span1 = self._l2_span1
+        banks_free = self._l2_bank_free
+        mem_channels = self._mem_channels
+        mem_lat_min = self._mem_lat_min
+        mem_span1 = self._mem_span1
+        mem_occ = self._mem_occupancy
+        channels_free = self._mem_channel_free
+        owner = self.owner
+        owner_get = owner.get
+        owner_pop = owner.pop
         mshrs = self._mshrs[sm]
-        worst = now + cfg.l1_hit_latency
+        mshr_free = mshrs.free_at
+        mshr_n = mshrs.n
+        worst = now + l1_lat
+        hits = 0
+        misses = 0
+        l2_hits = 0
+        l2_misses = 0
+        owned_wb = 0
         for line in lines:
-            if l1.lookup(line) is not None:
-                stats.l1_hits += 1
+            cache_set = l1_sets[line % l1_nsets]
+            # -1 sentinel: -1 >= ve4 is false (ve4 >= 0), and though
+            # -1 & 2 is truthy, -1 >= ae4 is false too — a missing line
+            # always falls through without an explicit None check.
+            entry = cache_set.pop(line, -1)
+            if entry >= ve4 or (entry & 2 and entry >= ae4):
+                cache_set[line] = entry
+                hits += 1
                 continue
-            stats.l1_misses += 1
-            start = mshrs.reserve(now, cfg.l2_latency_min)
-            holder = self.owner.get(line)
+            misses += 1
+            i = mshrs.idx
+            mshrs.idx = (i + 1) % mshr_n
+            start = mshr_free[i]
+            if start < now:
+                start = now
+            mshr_free[i] = start + l2_lat_min
+            holder = owner_get(line)
             if holder is not None and holder != sm:
                 # Data is forwarded from the owning L1; ownership stays.
-                done = (self._forward_delay(line, start)
-                        + cfg.remote_l1_latency(sm, holder))
+                # (inlined _forward_delay: directory tag lookup at home)
+                bank = line % l2_banks
+                bstart = banks_free[bank]
+                if bstart < start:
+                    bstart = start
+                banks_free[bank] = bstart + bank_occ
+                done = (bstart + bank_occ
+                        + rl1_min + abs(sm - holder) % rl1_span1 + l1_lat)
             else:
-                done = self._l2_service(sm, line, start, cfg.l2_bank_occupancy)
-            done += cfg.l1_hit_latency
-            self._install_l1(sm, line, VALID, now)
+                # --- L2 service (inlined _l2_service) ---
+                bank = line % l2_banks
+                bstart = banks_free[bank]
+                if bstart < start:
+                    bstart = start
+                banks_free[bank] = bstart + bank_occ
+                l2_lat = l2_lat_min + (bank + sm) % l2_span1
+                l2_set = l2_sets[line % l2_nsets]
+                l2_entry = l2_set.pop(line, -1)
+                if l2_entry >= l2_live_min:
+                    l2_set[line] = l2_entry
+                    l2_hits += 1
+                    done = bstart + bank_occ + l2_lat + l1_lat
+                else:
+                    l2_misses += 1
+                    if len(l2_set) >= l2_assoc:
+                        if l2_live_min:
+                            l2_install(line, VALID)
+                        else:
+                            del l2_set[next(iter(l2_set))]
+                            l2_set[line] = l2_packed_valid
+                    else:
+                        l2_set[line] = l2_packed_valid
+                    channel = line % mem_channels
+                    mstart = channels_free[channel]
+                    issue = bstart + bank_occ
+                    if mstart < issue:
+                        mstart = issue
+                    channels_free[channel] = mstart + mem_occ
+                    done = (mstart + mem_occ
+                            + mem_lat_min + (bank + sm) % mem_span1
+                            + l2_lat + l1_lat)
+            # --- L1 refill (inlined _install_l1 with state=VALID) ---
+            if len(cache_set) >= l1_assoc:
+                victim = None
+                if ve4:
+                    for cand, cand_entry in cache_set.items():
+                        if cand_entry < ve4 and (
+                            not cand_entry & 2 or cand_entry < ae4
+                        ):
+                            victim = cand
+                            break
+                if victim is None:
+                    victim = next(iter(cache_set))
+                    v_entry = cache_set[victim]
+                    del cache_set[victim]
+                    if v_entry & 3 == OWNED:
+                        # Ownership writeback: registration returns to
+                        # the L2 and occupies the victim's home bank.
+                        owner_pop(victim, None)
+                        vbank = victim % l2_banks
+                        vstart = banks_free[vbank]
+                        if vstart < now:
+                            vstart = now
+                        banks_free[vbank] = vstart + bank_occ
+                        owned_wb += 1
+                else:
+                    del cache_set[victim]
+            cache_set[line] = packed_valid
             if done > worst:
                 worst = done
+        stats = self.stats
+        stats.l1_hits += hits
+        stats.l1_misses += misses
+        stats.l2_hits += l2_hits
+        stats.l2_misses += l2_misses
+        if owned_wb:
+            extra = stats.extra
+            extra["owned_writebacks"] = (
+                extra.get("owned_writebacks", 0) + owned_wb
+            )
         return worst
 
     def store(self, sm: int, lines: tuple, now: float) -> tuple[float, float]:
         cfg = self.config
         l1 = self.l1s[sm]
+        l1_sets = l1._sets
+        l1_nsets = l1.num_sets
+        ae4 = l1._all_epoch << 2
+        l1_lat = cfg.l1_hit_latency
+        buf_hold = cfg.l2_latency_min + cfg.l2_bank_occupancy
         buffers = self._store_buffers[sm]
+        buf_free = buffers.free_at
+        buf_n = buffers.n
+        acquire_ownership = self._acquire_ownership
         accept = now
         drain = now
         for line in lines:
-            self.stats.stores += 1
-            if l1.peek(line) == OWNED:
+            # Inlined peek + LRU-touch: a live OWNED packed entry has
+            # bit 2 set and survives the ALL epoch (see `atomic`).
+            l1_set = l1_sets[line % l1_nsets]
+            entry = l1_set.get(line, -1)
+            if entry & 2 and entry >= ae4:
                 # Registered writes complete locally and need no flush.
-                done = now + cfg.l1_hit_latency
-                l1.lookup(line)  # touch LRU
+                del l1_set[line]
+                l1_set[line] = entry  # touch LRU
+                done = now + l1_lat
             else:
-                start = buffers.reserve(
-                    now, cfg.l2_latency_min + cfg.l2_bank_occupancy
-                )
+                i = buffers.idx
+                buffers.idx = (i + 1) % buf_n
+                start = buf_free[i]
+                if start < now:
+                    start = now
+                buf_free[i] = start + buf_hold
                 if start > accept:
                     accept = start
-                done = self._acquire_ownership(sm, line, start)
+                done = acquire_ownership(sm, line, start)
             if done > drain:
                 drain = done
+        self.stats.stores += len(lines)
         return accept, drain
 
     def atomic(
@@ -110,22 +257,34 @@ class DeNovoCoherence(MemorySystem):
         cfg = self.config
         if issue is None:
             issue = now
-        self.stats.atomics += count
+        stats = self.stats
+        stats.atomics += count
         holder = self.owner.get(line)
-        if holder == sm and self.l1s[sm].peek(line) == OWNED:
+        if holder == sm:
             # Synchronization locality: the atomic never leaves the core.
             # Locally-owned atomics flow through the L1's write pipeline
             # (serialized only per line), which is the whole point of
             # registration — they are nearly as cheap as L1 stores.
-            self.stats.atomics_local += count
-            self._last_atomic_sm[line] = sm
-            self.l1s[sm].lookup(line)  # touch LRU
-            start = self.sequencer.get(line, 0.0)
-            arrival = now + cfg.l1_hit_latency
-            if start < arrival:
-                start = arrival
-            self.sequencer[line] = start + count
-            return start + count + cfg.l1_hit_latency
+            # The peek + LRU-touch pair is inlined into one dict probe;
+            # a live OWNED packed entry has bit 2 set and survives the
+            # ALL epoch.
+            l1 = self.l1s[sm]
+            l1_set = l1._sets[line % l1.num_sets]
+            entry = l1_set.get(line)
+            if entry is not None and entry & 2 and entry >= (
+                l1._all_epoch << 2
+            ):
+                del l1_set[line]
+                l1_set[line] = entry  # touch LRU
+                stats.atomics_local += count
+                self._last_atomic_sm[line] = sm
+                l1_lat = cfg.l1_hit_latency
+                start = self.sequencer.get(line, 0.0)
+                arrival = now + l1_lat
+                if start < arrival:
+                    start = arrival
+                self.sequencer[line] = start + count
+                return start + count + l1_lat
         if holder is None:
             # Unowned: register ownership at the requester via the L2
             # directory, then execute locally.
@@ -181,9 +340,215 @@ class DeNovoCoherence(MemorySystem):
         if now > start:
             start = now
         self.sequencer[line] = start + rmw_hold
-        return start + rmw_hold + cfg.remote_l1_latency(sm, holder)
+        return (start + rmw_hold
+                + self._rl1_min + abs(sm - holder) % self._rl1_span1)
 
     def acquire(self, sm: int) -> int:
         self.stats.acquires += 1
         self.l1s[sm].invalidate_valid()
         return self.config.l1_hit_latency
+
+    # ------------------------------------------------------------------
+    # Batched atomics: one call per warp atomic instruction with the
+    # per-pair body of `atomic` inlined (see GPUCoherence for the same
+    # structure).  The ownership-transfer branches stay method calls —
+    # they are rare next to the local/forwarded fast paths.  Epochs and
+    # the set dicts are loop invariants: `_acquire_ownership` only ever
+    # single-line-invalidates *other* L1s.
+    # ------------------------------------------------------------------
+    def atomic_round(
+        self, sm: int, pairs: tuple, floor: float, issue: float
+    ) -> tuple[float, int]:
+        cfg = self.config
+        l1 = self.l1s[sm]
+        l1_sets = l1._sets
+        l1_nsets = l1.num_sets
+        ae4 = l1._all_epoch << 2
+        l1_lat = cfg.l1_hit_latency
+        atomic_occ = cfg.atomic_occupancy
+        l1_atomic_occ = cfg.l1_atomic_occupancy
+        bank_occ = cfg.l2_bank_occupancy
+        l2_banks = self._l2_banks
+        banks_free = self._l2_bank_free
+        l1_atomic_free = self._l1_atomic_free
+        rl1_min = self._rl1_min
+        rl1_span1 = self._rl1_span1
+        l1s = self.l1s
+        owner_get = self.owner.get
+        last_sm = self._last_atomic_sm
+        last_get = last_sm.get
+        acquire_ownership = self._acquire_ownership
+        sequencer = self.sequencer
+        seq_get = sequencer.get
+        done = floor
+        lanes = 0
+        local = 0
+        remote = 0
+        for line, count in pairs:
+            lanes += count
+            holder = owner_get(line)
+            if holder == sm:
+                l1_set = l1_sets[line % l1_nsets]
+                entry = l1_set.get(line, -1)
+                if entry & 2 and entry >= ae4:
+                    del l1_set[line]
+                    l1_set[line] = entry  # touch LRU
+                    local += count
+                    last_sm[line] = sm
+                    start = seq_get(line, 0.0)
+                    arrival = floor + l1_lat
+                    if start < arrival:
+                        start = arrival
+                    sequencer[line] = start + count
+                    completion = start + count + l1_lat
+                    if completion > done:
+                        done = completion
+                    continue
+            if holder is None or last_get(line) == sm:
+                last_sm[line] = sm
+                arrival = acquire_ownership(sm, line, issue)
+                if arrival < floor:
+                    arrival = floor
+                start = seq_get(line, 0.0)
+                if start < arrival:
+                    start = arrival
+                sequencer[line] = start + count
+                completion = start + count + l1_lat
+                if completion > done:
+                    done = completion
+                continue
+            last_sm[line] = sm
+            remote += count
+            l1s[holder].lookup(line)
+            rmw_hold = count * atomic_occ
+            ingress_hold = l1_atomic_occ + count
+            # (inlined _forward_delay at issue time)
+            bank = line % l2_banks
+            fstart = banks_free[bank]
+            if fstart < issue:
+                fstart = issue
+            banks_free[bank] = fstart + bank_occ
+            forwarded = fstart + bank_occ
+            unit = l1_atomic_free[holder]
+            unit_start = unit if unit > forwarded else forwarded
+            l1_atomic_free[holder] = unit_start + ingress_hold
+            start = seq_get(line, 0.0)
+            if unit_start > start:
+                start = unit_start
+            if floor > start:
+                start = floor
+            sequencer[line] = start + rmw_hold
+            completion = (start + rmw_hold
+                          + rl1_min + abs(sm - holder) % rl1_span1)
+            if completion > done:
+                done = completion
+        stats = self.stats
+        stats.atomics += lanes
+        if local:
+            stats.atomics_local += local
+        if remote:
+            stats.atomics_remote_transfer += remote
+        return done, lanes
+
+    def atomic_window(
+        self, sm: int, pairs: tuple, now: float,
+        outstanding: list, window: int,
+    ) -> tuple[float, float]:
+        cfg = self.config
+        l1 = self.l1s[sm]
+        l1_sets = l1._sets
+        l1_nsets = l1.num_sets
+        ae4 = l1._all_epoch << 2
+        l1_lat = cfg.l1_hit_latency
+        atomic_occ = cfg.atomic_occupancy
+        l1_atomic_occ = cfg.l1_atomic_occupancy
+        bank_occ = cfg.l2_bank_occupancy
+        l2_banks = self._l2_banks
+        banks_free = self._l2_bank_free
+        l1_atomic_free = self._l1_atomic_free
+        rl1_min = self._rl1_min
+        rl1_span1 = self._rl1_span1
+        l1s = self.l1s
+        owner_get = self.owner.get
+        last_sm = self._last_atomic_sm
+        last_get = last_sm.get
+        acquire_ownership = self._acquire_ownership
+        sequencer = self.sequencer
+        seq_get = sequencer.get
+        t = now
+        last = now
+        lanes = 0
+        local = 0
+        remote = 0
+        for line, count in pairs:
+            while outstanding and outstanding[0] <= t:
+                del outstanding[0]
+            if len(outstanding) >= window:
+                t = outstanding.pop(0)
+            lanes += count
+            holder = owner_get(line)
+            if holder == sm:
+                l1_set = l1_sets[line % l1_nsets]
+                entry = l1_set.get(line, -1)
+                if entry & 2 and entry >= ae4:
+                    del l1_set[line]
+                    l1_set[line] = entry  # touch LRU
+                    local += count
+                    last_sm[line] = sm
+                    start = seq_get(line, 0.0)
+                    arrival = t + l1_lat
+                    if start < arrival:
+                        start = arrival
+                    sequencer[line] = start + count
+                    completion = start + count + l1_lat
+                    if completion > last:
+                        last = completion
+                    insort(outstanding, completion)
+                    continue
+            if holder is None or last_get(line) == sm:
+                last_sm[line] = sm
+                arrival = acquire_ownership(sm, line, now)
+                if arrival < t:
+                    arrival = t
+                start = seq_get(line, 0.0)
+                if start < arrival:
+                    start = arrival
+                sequencer[line] = start + count
+                completion = start + count + l1_lat
+                if completion > last:
+                    last = completion
+                insort(outstanding, completion)
+                continue
+            last_sm[line] = sm
+            remote += count
+            l1s[holder].lookup(line)
+            rmw_hold = count * atomic_occ
+            ingress_hold = l1_atomic_occ + count
+            # (inlined _forward_delay at issue time)
+            bank = line % l2_banks
+            fstart = banks_free[bank]
+            if fstart < now:
+                fstart = now
+            banks_free[bank] = fstart + bank_occ
+            forwarded = fstart + bank_occ
+            unit = l1_atomic_free[holder]
+            unit_start = unit if unit > forwarded else forwarded
+            l1_atomic_free[holder] = unit_start + ingress_hold
+            start = seq_get(line, 0.0)
+            if unit_start > start:
+                start = unit_start
+            if t > start:
+                start = t
+            sequencer[line] = start + rmw_hold
+            completion = (start + rmw_hold
+                          + rl1_min + abs(sm - holder) % rl1_span1)
+            if completion > last:
+                last = completion
+            insort(outstanding, completion)
+        stats = self.stats
+        stats.atomics += lanes
+        if local:
+            stats.atomics_local += local
+        if remote:
+            stats.atomics_remote_transfer += remote
+        return t, last

@@ -84,17 +84,21 @@ class ExecutionResult:
 
 
 class _Warp:
-    __slots__ = ("ops", "pc", "sm", "tb", "reason", "store_drain",
+    __slots__ = ("ops", "nops", "pc", "sm", "tb", "reason", "store_drain",
                  "atomics")
 
     def __init__(self, ops: list, sm: int, tb: "_TB") -> None:
         self.ops = ops
+        self.nops = len(ops)
         self.pc = 0
         self.sm = sm
         self.tb = tb
-        self.reason = "data"
+        # Stall reason as a small int (see _REASONS): 0=comp, 1=data,
+        # 2=sync — indexes the per-SM gap accumulators directly.
+        self.reason = 1
         self.store_drain = 0.0
-        self.atomics: deque = deque()
+        # In-flight atomic completions, kept sorted ascending.
+        self.atomics: list = []
 
 
 class _TB:
@@ -181,9 +185,9 @@ class GPUSimulator:
         resident = [0] * num_sms
         cursors = [start] * num_sms
         sm_end = [start] * num_sms
-        tail_reason = ["data"] * num_sms
+        tail_reason = [1] * num_sms  # 0=comp, 1=data, 2=sync
         busy = [0.0] * num_sms
-        gaps = [dict(comp=0.0, data=0.0, sync=0.0) for _ in range(num_sms)]
+        gaps = [[0.0, 0.0, 0.0] for _ in range(num_sms)]
 
         heap: list = []
         counter = 0
@@ -198,6 +202,9 @@ class GPUSimulator:
                 return
             for ops in warp_ops:
                 warp = _Warp(ops, sm, tb)
+                # Every op issues exactly once, so the SM's busy-slot
+                # count is known up front.
+                busy[sm] += warp.nops
                 counter += 1
                 heapq.heappush(heap, (at, counter, warp))
 
@@ -213,48 +220,113 @@ class GPUSimulator:
                 if resident[sm] < cfg.max_tbs_per_sm:
                     activate(sm, pending.popleft(), start)
 
-        exec_op = self._execute_op
+        # Hot loop: the opcode dispatch of `_execute_op` is inlined here
+        # with all lookups bound to locals (millions of iterations per
+        # kernel).  `_execute_op` itself is kept as the reference
+        # implementation / compatibility entry point; both must compute
+        # identical times.  Branches are ordered by opcode frequency.
+        memory = self.memory
+        mem_load = memory.load
+        mem_store = memory.store
+        mem_acquire = memory.acquire
+        exec_atomic = self._execute_atomic
+        heappush = heapq.heappush
+        heappop = heapq.heappop
         while heap:
-            ready, _, warp = heapq.heappop(heap)
+            ready, _, warp = heappop(heap)
+            # Per-warp state is loop-invariant across the run-ahead inner
+            # loop; pc is kept local and written back only when the warp
+            # parks (heap, barrier) — a finished warp's pc is dead.
             sm = warp.sm
-            cur = cursors[sm]
-            if ready > cur:
-                gaps[sm][warp.reason] += ready - cur
-                cur = ready
-            # Issue slot.
-            busy[sm] += 1
-            now = cur + 1
-            cursors[sm] = now
+            ops = warp.ops
+            pc = warp.pc
+            nops = warp.nops
+            wreason = warp.reason
+            while True:
+                cur = cursors[sm]
+                if ready > cur:
+                    gaps[sm][wreason] += ready - cur
+                    cur = ready
+                # Issue slot (busy-slot counting is prepaid in activate).
+                now = cur + 1
+                cursors[sm] = now
 
-            done_time, reason = exec_op(warp, warp.ops[warp.pc], now, sm)
-            warp.pc += 1
-            if warp.pc < len(warp.ops):
-                if reason == "barrier":
-                    tb = warp.tb
-                    tb.barrier_count += 1
-                    tb.barrier_parked.append((done_time, warp))
-                    if tb.barrier_count == tb.size:
-                        release_at = max(t for t, _ in tb.barrier_parked)
-                        for _, parked in tb.barrier_parked:
-                            parked.reason = "sync"
-                            counter += 1
-                            heapq.heappush(heap, (release_at, counter, parked))
-                        tb.barrier_parked.clear()
-                        tb.barrier_count = 0
+                op = ops[pc]
+                code = op[0]
+                if code == OP_COMPUTE:
+                    done_time = now + op[1] - 1
+                    reason = 0
+                elif code == OP_LOAD:
+                    done_time = mem_load(sm, op[1], now)
+                    reason = 1
+                elif code == OP_ATOMIC:
+                    done_time = exec_atomic(warp, op, now, sm)[0]
+                    reason = 2
+                elif code == OP_STORE:
+                    done_time, drain = mem_store(sm, op[1], now)
+                    if drain > warp.store_drain:
+                        warp.store_drain = drain
+                    reason = 1
+                elif code == OP_ACQUIRE:
+                    done_time = now + mem_acquire(sm)
+                    reason = 2
+                elif code == OP_RELEASE:
+                    done_time = (now if now > warp.store_drain
+                                 else warp.store_drain)
+                    if warp.atomics:
+                        tail = max(warp.atomics)
+                        if tail > done_time:
+                            done_time = tail
+                        warp.atomics.clear()
+                    warp.store_drain = 0.0
+                    reason = 2
+                elif code == OP_BARRIER:
+                    done_time = now
+                    reason = 3
                 else:
-                    warp.reason = reason
-                    counter += 1
-                    heapq.heappush(heap, (done_time, counter, warp))
-            else:
-                if done_time > sm_end[sm]:
-                    sm_end[sm] = done_time
-                    tail_reason[sm] = reason
-                tb = warp.tb
-                tb.warps_left -= 1
-                if tb.warps_left == 0:
-                    resident[sm] -= 1
-                    if pending:
-                        activate(sm, pending.popleft(), done_time)
+                    raise ValueError(f"unknown opcode {code!r}")
+
+                pc += 1
+                if pc < nops:
+                    if reason == 3:
+                        warp.pc = pc
+                        tb = warp.tb
+                        tb.barrier_count += 1
+                        tb.barrier_parked.append((done_time, warp))
+                        if tb.barrier_count == tb.size:
+                            release_at = max(t for t, _ in tb.barrier_parked)
+                            for _, parked in tb.barrier_parked:
+                                parked.reason = 2
+                                counter += 1
+                                heappush(heap, (release_at, counter, parked))
+                            tb.barrier_parked.clear()
+                            tb.barrier_count = 0
+                        break
+                    # Run-ahead fast path: when this warp would become the
+                    # heap's unique minimum (strictly earlier than the
+                    # current head), a push/pop round trip returns it
+                    # immediately — keep executing it instead.  On a tie
+                    # the parked entry's lower counter wins, so only a
+                    # strict inequality may bypass the heap.
+                    if heap and done_time >= heap[0][0]:
+                        warp.pc = pc
+                        warp.reason = reason
+                        counter += 1
+                        heappush(heap, (done_time, counter, warp))
+                        break
+                    wreason = reason
+                    ready = done_time
+                else:
+                    if done_time > sm_end[sm]:
+                        sm_end[sm] = done_time
+                        tail_reason[sm] = reason
+                    tb = warp.tb
+                    tb.warps_left -= 1
+                    if tb.warps_left == 0:
+                        resident[sm] -= 1
+                        if pending:
+                            activate(sm, pending.popleft(), done_time)
+                    break
 
         finish = max(max(sm_end), max(cursors))
         for sm in range(num_sms):
@@ -263,9 +335,9 @@ class GPUSimulator:
             if sm_end[sm] > cursors[sm]:
                 gaps[sm][tail_reason[sm]] += sm_end[sm] - cursors[sm]
             stats.busy += busy[sm]
-            stats.comp += gaps[sm]["comp"]
-            stats.data += gaps[sm]["data"]
-            stats.sync += gaps[sm]["sync"]
+            stats.comp += gaps[sm][0]
+            stats.data += gaps[sm][1]
+            stats.sync += gaps[sm][2]
             end = max(sm_end[sm], cursors[sm])
             stats.idle += finish - end
         return finish
@@ -322,7 +394,9 @@ class GPUSimulator:
         # belong to *different lanes* (threads), so they always issue
         # concurrently.  Ordering constraints apply between successive
         # atomic instructions of the same thread, which warp lockstep
-        # turns into inter-round constraints.
+        # turns into inter-round constraints.  The per-pair service loops
+        # live in the memory system (atomic_round / atomic_window) so
+        # protocols pay their local bindings once per instruction.
 
         if model.atomics_paired:
             # DRF0: every atomic is paired sync — drain outstanding
@@ -336,14 +410,7 @@ class GPUSimulator:
                 warp.atomics.clear()
             start += memory.acquire(sm)
             warp.store_drain = 0.0
-            done = start
-            lanes = 0
-            for line, count in pairs:
-                lanes += count
-                completion = memory.atomic(sm, line, count, start,
-                                           issue=now)
-                if completion > done:
-                    done = completion
+            done, lanes = memory.atomic_round(sm, pairs, start, now)
             if not needs_value and lanes > 1:
                 # Paired atomics drain one lane at a time through the
                 # warp's single outstanding-synchronization slot.
@@ -360,13 +427,7 @@ class GPUSimulator:
                 if tail > t:
                     t = tail
                 warp.atomics.clear()
-            last_completion = t
-            lanes = 0
-            for line, count in pairs:
-                lanes += count
-                completion = memory.atomic(sm, line, count, t, issue=now)
-                if completion > last_completion:
-                    last_completion = completion
+            last_completion, lanes = memory.atomic_round(sm, pairs, t, now)
             if not needs_value and lanes > 1:
                 # One outstanding unpaired atomic per thread, and the
                 # warp's lanes share a single request slot: the lanes
@@ -379,26 +440,8 @@ class GPUSimulator:
             return t, "sync"
 
         # DRFrlx: relaxed atomics overlap freely within the MLP window.
-        window = self._window
-        outstanding = warp.atomics
-        t = now
-        last_completion = now
-        for line, count in pairs:
-            while outstanding and outstanding[0] <= t:
-                outstanding.popleft()
-            if len(outstanding) >= window:
-                t = outstanding.popleft()
-            completion = memory.atomic(sm, line, count, t, issue=now)
-            if completion > last_completion:
-                last_completion = completion
-            # Keep the deque sorted by completion; completions are usually
-            # monotone, so this is an O(1) append in the common case.
-            if outstanding and completion < outstanding[-1]:
-                items = sorted([*outstanding, completion])
-                outstanding.clear()
-                outstanding.extend(items)
-            else:
-                outstanding.append(completion)
+        t, last_completion = memory.atomic_window(
+            sm, pairs, now, warp.atomics, self._window)
         if needs_value:
             return last_completion, "sync"
         return max(t, now), "sync"

@@ -18,6 +18,15 @@ them):
   synchronization; triggers invalidation / flush per the coherence
   protocol.
 * ``(OP_BARRIER,)`` — thread-block-wide barrier.
+
+Compact IR.  The *shape* of an op is unchanged (the engine still sees
+tuples), but a realized trace holds only references into a shared pool:
+:class:`OpInterner` dedups line tuples and whole op tuples, so the
+~10⁶-op traces of a large workload store each distinct op object once
+(graph kernels repeat the same coalesced access patterns heavily across
+rounds, warps, and iterations).  The ``compute()/load()/...``
+constructors remain as the compatibility layer for hand-built traces;
+bulk producers (``kernels/tracegen.py``) go through an interner.
 """
 
 from __future__ import annotations
@@ -28,7 +37,7 @@ __all__ = [
     "OP_COMPUTE", "OP_LOAD", "OP_STORE", "OP_ATOMIC", "OP_ACQUIRE",
     "OP_RELEASE", "OP_BARRIER",
     "compute", "load", "store", "atomic", "acquire", "release", "barrier",
-    "WarpTrace", "KernelTrace", "op_count",
+    "WarpTrace", "KernelTrace", "OpInterner", "op_count",
 ]
 
 OP_COMPUTE = 0
@@ -90,16 +99,62 @@ def barrier() -> tuple:
     return (OP_BARRIER,)
 
 
+class OpInterner:
+    """Shared pool that dedups line tuples and op tuples (the trace IR).
+
+    Interning is purely a storage/construction optimization: the pooled
+    objects are ordinary tuples, bit-identical to what the compatibility
+    constructors build, so the engine's arithmetic is unaffected.  A pool
+    is typically scoped to one :class:`~repro.kernels.tracegen.TraceBuilder`
+    so every iteration and direction of a workload shares it.
+    """
+
+    __slots__ = ("lines", "ops")
+
+    def __init__(self) -> None:
+        self.lines: dict = {}
+        self.ops: dict = {}
+
+    def lines_tuple(self, key: tuple) -> tuple:
+        """Intern a tuple of line ids."""
+        got = self.lines.get(key)
+        if got is None:
+            self.lines[key] = key
+            return key
+        return got
+
+    def op(self, op_tuple: tuple) -> tuple:
+        """Intern a complete op tuple (any opcode)."""
+        got = self.ops.get(op_tuple)
+        if got is None:
+            self.ops[op_tuple] = op_tuple
+            return op_tuple
+        return got
+
+
 @dataclass
 class KernelTrace:
-    """One kernel launch: ``blocks[tb][warp]`` is a warp's op list."""
+    """One kernel launch: ``blocks[tb][warp]`` is a warp's op list.
+
+    Warp and op counts are maintained incrementally by :meth:`add_block`
+    so ``num_warps``/``op_count`` are O(1) even on million-op traces.
+    Mutate ``blocks`` only through :meth:`add_block`.
+    """
 
     name: str
     blocks: list = field(default_factory=list)
+    _num_warps: int = field(default=0, repr=False, compare=False)
+    _op_count: int = field(default=0, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._num_warps = sum(len(tb) for tb in self.blocks)
+        self._op_count = sum(len(w) for tb in self.blocks for w in tb)
 
     def add_block(self, warps: list) -> None:
         """Append a thread block given its per-warp op lists."""
         self.blocks.append(warps)
+        self._num_warps += len(warps)
+        self._op_count += sum(len(w) for w in warps)
 
     @property
     def num_blocks(self) -> int:
@@ -108,10 +163,15 @@ class KernelTrace:
 
     @property
     def num_warps(self) -> int:
-        """Total warps across all thread blocks."""
-        return sum(len(tb) for tb in self.blocks)
+        """Total warps across all thread blocks (O(1))."""
+        return self._num_warps
+
+    @property
+    def op_count(self) -> int:
+        """Total op tuples across all warps (O(1))."""
+        return self._op_count
 
 
 def op_count(trace: KernelTrace) -> int:
     """Total op tuples in a kernel trace (cost estimation/testing)."""
-    return sum(len(w) for tb in trace.blocks for w in tb)
+    return trace._op_count

@@ -254,6 +254,24 @@ class TestResultCache:
         monkeypatch.setattr(spec_module, "RESULT_SCHEMA_VERSION", 99)
         assert cache.get(spec) is None
 
+    def test_old_schema_payload_on_disk_is_ignored(self, small_plan,
+                                                   tmp_path):
+        # An entry whose *payload* declares an older schema (however it
+        # got to this path) is a miss, counted as corrupt, and deleted.
+        from repro.runtime.spec import RESULT_SCHEMA_VERSION
+
+        assert RESULT_SCHEMA_VERSION == 1
+        cache = ResultCache(tmp_path / "cache")
+        spec = small_plan[0]
+        run_plan([spec], cache=cache)
+        path = cache.path_for(spec)
+        payload = json.loads(path.read_text())
+        payload["schema"] = 0
+        path.write_text(json.dumps(payload))
+        assert cache.get(spec) is None
+        assert cache.corrupt == 1
+        assert not path.exists()
+
     def test_corrupt_entry_is_a_miss_and_self_heals(self, small_plan,
                                                     tmp_path):
         cache = ResultCache(tmp_path / "cache")
