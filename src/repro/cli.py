@@ -15,7 +15,16 @@ Table IV machine).
 ``run`` and ``sweep`` execute through the ``repro.runtime`` layer:
 results are memoized per workload in a content-addressed cache
 (``--cache-dir DIR``, ``--no-cache``), and ``sweep --jobs N`` fans
-workloads across N worker processes.
+workloads across N worker processes.  ``sweep --graphs``/``--apps``
+restrict the sweep to a subset of the paper's 36 workloads.
+
+Observability (``repro.obs``) is off by default and never changes
+modeled numbers: ``--events PATH`` streams typed runtime events (unit
+lifecycle, retries, crashes, pool recycles, cache traffic) to a
+JSON-lines log that ``tools/events_to_chrometrace.py`` renders as a
+Chrome trace; ``--metrics`` prints an end-of-run metrics summary
+(counters + histograms, including the ``--profile`` collector when both
+are on).
 
 Execution is fault tolerant: failing workloads are retried
 (``--retries``), optionally bounded by a per-workload wall-clock
@@ -29,6 +38,7 @@ happens, so an interrupted sweep resumes from cache + manifest.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 
 from .configs import parse_config
@@ -152,6 +162,53 @@ def _cmd_predict(args) -> int:
     return 0
 
 
+def _start_obs(args):
+    """Enable the observability layer when ``--events``/``--metrics`` ask.
+
+    Returns the enabled :class:`~repro.obs.Observer`, or None when the
+    flags leave observation off (the no-op fast path).
+    """
+    if not (getattr(args, "events", None) or getattr(args, "metrics",
+                                                     False)):
+        return None
+    from . import obs
+
+    return obs.enable(events=args.events)
+
+
+def _finish_obs(args, observer) -> None:
+    """Flush sinks and print the ``--metrics`` summary tables."""
+    if observer is None:
+        return
+    from . import obs
+
+    snapshot = observer.metrics.snapshot()
+    obs.disable()
+    if getattr(args, "events", None):
+        print(f"\nevent log written to {args.events}")
+    if not getattr(args, "metrics", False):
+        return
+    rows = [{"Counter": name, "Value": value}
+            for name, value in snapshot["counters"].items()]
+    rows.extend({"Counter": name, "Value": value}
+                for name, value in snapshot["gauges"].items())
+    if rows:
+        print()
+        print(render_table(rows, title="Metrics: counters"))
+    hist_rows = [{
+        "Histogram": name,
+        "Count": summary["count"],
+        "Mean": f"{summary['mean']:.4g}",
+        "Min": f"{summary['min']:.4g}",
+        "Max": f"{summary['max']:.4g}",
+    } for name, summary in snapshot["histograms"].items()]
+    if hist_rows:
+        print()
+        print(render_table(hist_rows, title="Metrics: histograms"))
+    for name, payload in snapshot.get("sources", {}).items():
+        print(f"\nsource {name!r}: {payload}")
+
+
 def _start_profile(args) -> bool:
     """Enable the perf collector when ``--profile`` was passed.
 
@@ -188,6 +245,7 @@ def _cmd_run(args) -> int:
         max_iters=args.iters,
     )
     profiling = _start_profile(args)
+    observer = _start_obs(args)
     try:
         result = run_plan(
             [spec],
@@ -195,26 +253,58 @@ def _cmd_run(args) -> int:
             **_fault_kwargs(args))[0]
     except UnitExecutionError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        _finish_obs(args, observer)
         return 1
     if isinstance(result, UnitFailure):
         _print_failure(result)
+        _finish_obs(args, observer)
         return 1
     print(f"{spec.app} on {result.graph_name}: normalized execution time")
     for code, value in result.normalized().items():
         print(render_breakdown_bars(
             code, result.results[code].breakdown, value))
     print(f"best: {result.best_code}")
+    _finish_obs(args, observer)
     if profiling:
         _finish_profile()
     return 0
 
 
+def _split_choices(raw: str | None, universe: tuple[str, ...],
+                   what: str) -> tuple[str, ...] | None:
+    """Parse a comma-separated ``--graphs``/``--apps`` restriction."""
+    if raw is None:
+        return None
+    chosen = tuple(item.strip().upper() for item in raw.split(",")
+                   if item.strip())
+    unknown = [item for item in chosen if item not in universe]
+    if unknown:
+        raise SystemExit(
+            f"unknown {what} {', '.join(unknown)}; "
+            f"choose from {', '.join(universe)}")
+    return chosen
+
+
+def _gap_cell(row) -> str:
+    """The sweep table's Exact column; NaN gaps read as unmeasurable."""
+    if row.prediction_exact:
+        return "yes"
+    gap = row.prediction_gap
+    if math.isnan(gap):
+        return "no (not simulated)"
+    return f"no ({gap:.2f}x)"
+
+
 def _cmd_sweep(args) -> int:
-    from .harness import flexibility_stats, format_pct, run_sweep
+    from .harness import APPS, GRAPHS, flexibility_stats, format_pct, \
+        run_sweep
 
     profiling = _start_profile(args)
+    observer = _start_obs(args)
     try:
         sweep = run_sweep(
+            graphs=_split_choices(args.graphs, GRAPHS, "graph") or GRAPHS,
+            apps=_split_choices(args.apps, APPS, "app") or APPS,
             max_iters=args.iters,
             jobs=1 if profiling else args.jobs,
             cache=None if profiling else _resolve_cache(args),
@@ -223,19 +313,20 @@ def _cmd_sweep(args) -> int:
         )
     except UnitExecutionError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        _finish_obs(args, observer)
         return 1
     rows = [{
         "Workload": f"{r.app}-{r.graph}",
         "Best": r.best,
         "Predicted": r.predicted,
-        "Exact": "yes" if r.prediction_exact else
-                 f"no ({r.prediction_gap:.2f}x)",
+        "Exact": _gap_cell(r),
     } for r in sweep.rows]
     print(render_table(rows, title="Sweep summary"))
     stats = flexibility_stats(sweep)
     print(f"\nmodel exact: {sweep.exact_predictions}/{len(sweep.rows)}; "
           f"default loses on {stats.default_losses} workloads "
           f"(avg reduction {format_pct(stats.avg_reduction)})")
+    _finish_obs(args, observer)
     if sweep.failures:
         print(f"\n{len(sweep.failures)} workload(s) failed:",
               file=sys.stderr)
@@ -301,8 +392,19 @@ def build_parser() -> argparse.ArgumentParser:
                                  "clock breakdown afterwards (forces "
                                  "uncached in-process execution)")
 
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument("--events", default=None, metavar="PATH",
+                           help="stream runtime events (unit lifecycle, "
+                                "retries, crashes, pool recycles, cache "
+                                "traffic) to this JSON-lines log; render "
+                                "with tools/events_to_chrometrace.py")
+    obs_flags.add_argument("--metrics", action="store_true",
+                           help="print a metrics summary (counters + "
+                                "histograms) after the run")
+
     p_run = sub.add_parser("run",
-                           parents=[cache_flags, fault_flags, perf_flags],
+                           parents=[cache_flags, fault_flags, perf_flags,
+                                    obs_flags],
                            help="simulate one workload")
     p_run.add_argument("graph")
     p_run.add_argument("app")
@@ -312,13 +414,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cap simulated iterations")
 
     p_sweep = sub.add_parser("sweep",
-                             parents=[cache_flags, fault_flags, perf_flags],
+                             parents=[cache_flags, fault_flags, perf_flags,
+                                      obs_flags],
                              help="full 36-workload sweep (slow)")
     p_sweep.add_argument("--iters", type=int, default=None)
     p_sweep.add_argument("--jobs", type=int, default=1,
                          help="worker processes for the sweep "
                               "(1 = in-process serial execution; "
                               "--profile forces 1)")
+    p_sweep.add_argument("--graphs", default=None, metavar="KEYS",
+                         help="comma-separated dataset keys to sweep "
+                              "(default: all six)")
+    p_sweep.add_argument("--apps", default=None, metavar="APPS",
+                         help="comma-separated applications to sweep "
+                              "(default: all six)")
     return parser
 
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from ..configs import Configuration, figure5_configurations
 from ..graph.csr import CSRGraph
 from ..kernels import TraceBuilder, make_kernel
+from ..obs import OBSERVER as _obs
 from ..perf import collector as _perf
 from ..sim.config import DEFAULT_SYSTEM, SystemConfig
 from ..sim.engine import ExecutionResult, GPUSimulator
@@ -132,10 +133,15 @@ def run_workload(
     }
     directions = {_trace_direction(c.direction) for c in configs}
 
-    # Perf collection measures our own wall clock, never modeled timing:
-    # results are identical with profiling on or off.
+    # Perf collection and the observer measure our own wall clock and
+    # throughput, never modeled timing: results are identical with
+    # either on or off (the golden tests assert this bit-for-bit).
     perf = _perf if _perf.enabled else None
+    obs = _obs if _obs.enabled else None
+    sim_ops = 0
+    rounds = 0
     for iteration in kernel.iterations(max_iters):
+        rounds += 1
         t0 = perf.clock() if perf else 0.0
         realized = {
             direction: builder.realize_iteration(iteration, direction)
@@ -150,6 +156,8 @@ def run_workload(
                 simulator.feed(trace)
                 if perf:
                     perf.ops += trace.op_count
+                if obs:
+                    sim_ops += trace.op_count
         if perf:
             perf.simulate_s += perf.clock() - t0
     if perf:
@@ -159,4 +167,17 @@ def run_workload(
                              baseline=configs[0].code if configs else None)
     for code, (_, simulator) in simulators.items():
         outcome.results[code] = simulator.result()
+    if obs:
+        metrics = obs.metrics
+        metrics.counter("sim.workloads").inc()
+        metrics.counter("sim.ops").inc(sim_ops)
+        metrics.histogram("sim.rounds").observe(rounds)
+        for code, result in outcome.results.items():
+            metrics.histogram("sim.cycles").observe(result.cycles)
+            for category, fraction in result.breakdown.fractions().items():
+                metrics.histogram(
+                    f"sim.stall_frac.{category}").observe(fraction)
+        obs.emit("workload.simulated", app=app, graph=graph.name,
+                 ops=sim_ops, rounds=rounds,
+                 configs=list(outcome.results))
     return outcome

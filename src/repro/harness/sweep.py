@@ -19,6 +19,7 @@ from typing import Callable, Iterable
 
 from ..graph.datasets import DEFAULT_SIM_SCALE
 from ..model import predict_configuration, predict_partial_configuration
+from ..obs import OBSERVER as _obs
 from ..runtime import (
     ExecutionPlan,
     FaultInjector,
@@ -65,14 +66,28 @@ class SweepRow:
 
     @property
     def prediction_exact(self) -> bool:
-        """Did the model pick the empirically best configuration?"""
+        """Did the model pick the empirically best configuration?
+
+        A prediction outside the simulated set can never be exact, so
+        restricted sweeps count it as a miss.
+        """
         return self.predicted == self.best
 
     @property
     def prediction_gap(self) -> float:
-        """Slowdown of the predicted configuration vs the empirical best."""
+        """Slowdown of the predicted configuration vs the empirical best.
+
+        ``nan`` when the predicted code was not among this workload's
+        simulated configurations (a restricted sweep): the gap is
+        unknowable there, and crashing Table-V generation over it would
+        hide every measured row.  Reporting treats ``nan`` as a miss
+        with no measurable gap.
+        """
         cycles = self.workload.results
-        return cycles[self.predicted].cycles / cycles[self.best].cycles
+        predicted = cycles.get(self.predicted)
+        if predicted is None:
+            return float("nan")
+        return predicted.cycles / cycles[self.best].cycles
 
 
 @dataclass
@@ -180,6 +195,7 @@ def run_sweep(
     apps = tuple(apps)
     scales = scales or DEFAULT_SIM_SCALE
 
+    _obs.emit("sweep.phase", name="plan", boundary="begin")
     plan = ExecutionPlan.for_sweep(
         graphs, apps,
         max_iters=max_iters,
@@ -187,6 +203,9 @@ def run_sweep(
         scales=scales,
         base_system=base_system,
     )
+    _obs.emit("sweep.phase", name="plan", boundary="end")
+
+    _obs.emit("sweep.phase", name="execute", boundary="begin")
     workloads = run_plan(
         plan,
         jobs=jobs,
@@ -197,7 +216,9 @@ def run_sweep(
         keep_going=keep_going,
         manifest=manifest,
     )
+    _obs.emit("sweep.phase", name="execute", boundary="end")
 
+    _obs.emit("sweep.phase", name="aggregate", boundary="begin")
     result = SweepResult()
     units = iter(zip(plan, workloads))
     for graph_key in graphs:
@@ -226,4 +247,5 @@ def run_sweep(
                 predicted=predicted.code,
                 predicted_partial=partial.code,
             ))
+    _obs.emit("sweep.phase", name="aggregate", boundary="end")
     return result

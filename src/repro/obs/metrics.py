@@ -1,0 +1,161 @@
+"""Lightweight metrics: counters, gauges, histograms, one registry.
+
+The registry is the aggregate side of the observability layer: events
+answer "what happened, in order", metrics answer "how much, in total".
+Everything is plain Python (no locks — instruments live in one process
+and the executors observe from the manager loop only), and
+:meth:`MetricsRegistry.snapshot` renders the whole registry as one
+JSON-safe dict.
+
+External collectors can be folded in as *sources*: a source is a
+zero-argument callable returning a JSON-safe dict (or ``None`` when it
+has nothing to report).  :mod:`repro.perf`'s phase-timing collector is
+registered as the ``perf`` source by :mod:`repro.obs`, so ``--profile``
+data appears in the same snapshot instead of living in a parallel
+singleton.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary of observed values (count/total/min/max/mean).
+
+    Deliberately bucket-free: the consumers here want distribution
+    summaries in a JSON snapshot, not quantile estimation, and a
+    five-field summary costs O(1) per observation.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        if self.count == 0:
+            self.min = self.max = value
+        else:
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Name-addressed instruments plus pluggable snapshot sources.
+
+    ``counter``/``gauge``/``histogram`` get-or-create, so instrumented
+    code never needs registration ceremony; asking for an existing name
+    as a different instrument type is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._sources: dict[str, Callable[[], dict | None]] = {}
+
+    def _claim(self, name: str, kind: dict) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not kind and name in family:
+                raise ValueError(
+                    f"metric {name!r} already registered as a different type")
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._claim(name, self._counters)
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._claim(name, self._gauges)
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._claim(name, self._histograms)
+            instrument = self._histograms[name] = Histogram()
+        return instrument
+
+    def register_source(self, name: str,
+                        source: Callable[[], dict | None]) -> None:
+        """Fold an external collector into :meth:`snapshot` under ``name``."""
+        self._sources[name] = source
+
+    def reset(self) -> None:
+        """Drop all instruments (sources stay registered)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def snapshot(self) -> dict:
+        """JSON-safe view of every instrument and live source."""
+        snap: dict = {
+            "counters": {name: c.value
+                         for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self._gauges.items())},
+            "histograms": {name: h.summary()
+                           for name, h in sorted(self._histograms.items())},
+        }
+        sources = {}
+        for name, source in sorted(self._sources.items()):
+            payload = source()
+            if payload is not None:
+                sources[name] = payload
+        if sources:
+            snap["sources"] = sources
+        return snap

@@ -11,13 +11,20 @@ Collection is disabled by default; when enabled it costs two
 ``perf_counter`` calls per phase per iteration.  The collector is
 per-process: parallel (process-pool) execution only records the parent's
 share, so profiling callers run serially.
+
+The collector is not a reporting channel of its own: :mod:`repro.obs`
+registers :func:`metrics_source` as the ``perf`` source of its metrics
+registry, so an enabled collector's snapshot appears inside
+``MetricsRegistry.snapshot()["sources"]["perf"]`` alongside the event
+counters instead of living in a parallel singleton.
 """
 
 from __future__ import annotations
 
 import time
 
-__all__ = ["PerfCollector", "collector", "format_breakdown"]
+__all__ = ["PerfCollector", "collector", "format_breakdown",
+           "metrics_source"]
 
 
 class PerfCollector:
@@ -55,6 +62,11 @@ class PerfCollector:
 
 #: The process-wide collector instrumented code reports into.
 collector = PerfCollector()
+
+
+def metrics_source() -> dict | None:
+    """The ``perf`` source for :mod:`repro.obs` (None while disabled)."""
+    return collector.snapshot() if collector.enabled else None
 
 
 def format_breakdown(snap: dict) -> list[str]:

@@ -18,6 +18,7 @@ import tempfile
 from pathlib import Path
 
 from ..harness.runner import WorkloadResult
+from ..obs import OBSERVER as _obs
 from .spec import WorkloadSpec
 
 __all__ = ["ResultCache", "default_cache_dir"]
@@ -57,7 +58,8 @@ class ResultCache:
         """
         from .spec import RESULT_SCHEMA_VERSION
 
-        path = self.path_for(spec)
+        digest = spec.digest()
+        path = self.directory / f"{digest}.json"
         try:
             payload = json.loads(path.read_text())
             if payload.get("schema") != RESULT_SCHEMA_VERSION:
@@ -65,13 +67,24 @@ class ResultCache:
             result = WorkloadResult.from_dict(payload["result"])
         except OSError:
             self.misses += 1
+            _obs.emit("cache.miss", digest=digest, label=spec.label)
+            if _obs.enabled:
+                _obs.metrics.counter("cache.misses").inc()
             return None
         except (ValueError, KeyError, TypeError):
             self.misses += 1
             self.corrupt += 1
             path.unlink(missing_ok=True)
+            _obs.emit("cache.corrupt", digest=digest, label=spec.label)
+            _obs.emit("cache.miss", digest=digest, label=spec.label)
+            if _obs.enabled:
+                _obs.metrics.counter("cache.corrupt").inc()
+                _obs.metrics.counter("cache.misses").inc()
             return None
         self.hits += 1
+        _obs.emit("cache.hit", digest=digest, label=spec.label)
+        if _obs.enabled:
+            _obs.metrics.counter("cache.hits").inc()
         return result
 
     def put(self, spec: WorkloadSpec, result: WorkloadResult) -> Path:
@@ -100,6 +113,10 @@ class ResultCache:
                 pass
             raise
         self.stores += 1
+        _obs.emit("cache.store", digest=payload["digest"],
+                  label=spec.label)
+        if _obs.enabled:
+            _obs.metrics.counter("cache.stores").inc()
         return path
 
     def __len__(self) -> int:

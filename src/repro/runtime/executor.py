@@ -40,12 +40,14 @@ from typing import Callable, Iterator, Sequence
 from ..graph.csr import CSRGraph
 from ..harness import runner as _runner
 from ..harness.runner import WorkloadResult
+from ..obs import OBSERVER as _obs
 from .cache import ResultCache
 from .faults import (
     FaultInjector,
     UnitExecutionError,
     UnitFailure,
     UnitTimeoutError,
+    failure_kind,
 )
 from .manifest import RunManifest
 from .retry import RetryPolicy
@@ -107,31 +109,63 @@ def run_unit(
 
     Returns the result, or a :class:`UnitFailure` once the policy's
     attempts are exhausted.  In-process execution cannot be preempted,
-    so the wall-clock timeout is detected *after* an attempt finishes
-    here; the process-pool executor enforces it preemptively.
+    so a wall-clock overrun is only detectable *after* an attempt
+    finishes — at which point a valid result of a deterministic
+    simulation is already in hand.  That result is **returned**, not
+    discarded: re-running the identical unit would spend the retry
+    budget recomputing the same bits and, on the final attempt, throw a
+    good result away as a :class:`UnitFailure`.  The overrun is recorded
+    instead — a ``unit.overrun`` event on the observer and a
+    ``deadline_overrun`` attribute (in-memory only, never serialized)
+    that :func:`run_plan` journals to the manifest.  The process-pool
+    executor enforces the timeout preemptively, so this path only
+    concerns serial execution.
     """
     policy = policy or RetryPolicy()
+    digest = spec.digest()
     started = time.monotonic()
     failure: UnitFailure | None = None
     for attempt in range(1, policy.max_attempts + 1):
         if attempt > 1:
-            time.sleep(policy.delay_for(attempt - 1, spec.digest()))
+            _obs.emit("unit.retried", digest=digest, label=spec.label,
+                      attempt=attempt,
+                      cause=failure.kind if failure is not None else None)
+            if _obs.enabled:
+                _obs.metrics.counter("units.retried").inc()
+            time.sleep(policy.delay_for(attempt - 1, digest))
+        _obs.emit("unit.started", digest=digest, label=spec.label,
+                  attempt=attempt)
         attempt_started = time.monotonic()
         try:
             if injector is not None:
                 injector.before_execute(spec, attempt, in_worker=False)
             result = (execute or execute_spec)(spec)
-            elapsed = time.monotonic() - attempt_started
-            if policy.timeout is not None and elapsed > policy.timeout:
-                raise UnitTimeoutError(
-                    f"{spec.label} took {elapsed:.3f}s "
-                    f"(budget {policy.timeout:g}s)")
         except Exception as exc:
             failure = UnitFailure.from_exception(
                 spec, exc, attempts=attempt,
                 elapsed=time.monotonic() - started)
             continue
+        elapsed = time.monotonic() - attempt_started
+        if policy.timeout is not None and elapsed > policy.timeout:
+            _obs.emit("unit.overrun", digest=digest, label=spec.label,
+                      elapsed=elapsed, budget=policy.timeout,
+                      attempt=attempt)
+            if _obs.enabled:
+                _obs.metrics.counter("units.overrun").inc()
+            try:
+                result.deadline_overrun = elapsed
+            except AttributeError:
+                pass  # slotted/bare result doubles cannot carry the marker
+        _obs.emit("unit.finished", digest=digest, label=spec.label,
+                  attempt=attempt, elapsed=elapsed)
+        if _obs.enabled:
+            _obs.metrics.counter("units.finished").inc()
         return result
+    _obs.emit("unit.failed", digest=digest, label=spec.label,
+              attempts=failure.attempts, cause=failure.kind,
+              message=failure.message)
+    if _obs.enabled:
+        _obs.metrics.counter("units.failed").inc()
     return failure
 
 
@@ -275,10 +309,17 @@ class ParallelExecutor(Executor):
                 "delay": delay,
                 "injector": injector_payload,
             }
+            _obs.emit("unit.started", digest=unit.spec.digest(),
+                      label=unit.spec.label, attempt=unit.attempt)
+            if _obs.enabled:
+                _obs.metrics.counter("units.started").inc()
             try:
                 future = pool.submit(_worker_execute, payload)
             except (BrokenProcessPool, RuntimeError):
                 # Pool died between rounds; recycle once and retry.
+                _obs.emit("pool.recycle", reason="submit", requeued=0)
+                if _obs.enabled:
+                    _obs.metrics.counter("pool.recycles").inc()
                 _kill_pool(pool)
                 pool = cf.ProcessPoolExecutor(max_workers=workers)
                 future = pool.submit(_worker_execute, payload)
@@ -295,17 +336,41 @@ class ParallelExecutor(Executor):
                 unit.attempt += 1
                 unit.deadline = None
                 pending.append(unit)
+                _obs.emit("unit.retried", digest=unit.spec.digest(),
+                          label=unit.spec.label, attempt=unit.attempt,
+                          cause=failure_kind(exception))
+                if _obs.enabled:
+                    _obs.metrics.counter("units.retried").inc()
                 return None
             elapsed = time.monotonic() - (unit.first_started or 0.0)
-            return UnitFailure.from_exception(
+            failure = UnitFailure.from_exception(
                 unit.spec, exception, attempts=unit.attempt,
                 elapsed=elapsed)
+            _obs.emit("unit.failed", digest=failure.digest,
+                      label=failure.label, attempts=failure.attempts,
+                      cause=failure.kind, message=failure.message)
+            if _obs.enabled:
+                _obs.metrics.counter("units.failed").inc()
+            if failure.quarantined:
+                _obs.emit("unit.quarantined", digest=failure.digest,
+                          label=failure.label, attempts=failure.attempts)
+                if _obs.enabled:
+                    _obs.metrics.counter("units.quarantined").inc()
+            return failure
 
         try:
             while pending or inflight:
                 limit = 1 if probe else workers
                 while pending and len(inflight) < limit:
-                    submit(pending.popleft())
+                    unit = pending.popleft()
+                    if probe:
+                        # This unit is the probe: it flies alone so a
+                        # repeat crash can be blamed on it specifically.
+                        _obs.emit("pool.probation",
+                                  digest=unit.spec.digest(),
+                                  label=unit.spec.label,
+                                  attempt=unit.attempt)
+                    submit(unit)
 
                 deadlines = [unit.deadline for unit in inflight.values()
                              if unit.deadline is not None]
@@ -322,15 +387,34 @@ class ParallelExecutor(Executor):
                     if exception is None:
                         unit.pool = None
                         probe = False
+                        _obs.emit("unit.finished",
+                                  digest=unit.spec.digest(),
+                                  label=unit.spec.label,
+                                  attempt=unit.attempt,
+                                  elapsed=time.monotonic()
+                                  - (unit.first_started or 0.0))
+                        if _obs.enabled:
+                            _obs.metrics.counter("units.finished").inc()
                         ready.append((unit.position,
                                       WorkloadResult.from_dict(
                                           future.result())))
                         continue
                     # Only a break of the *current* pool needs a respawn;
                     # stale futures from an already-replaced pool resolve
-                    # broken too, but their pool is long gone.
+                    # broken too, but their pool is long gone.  The same
+                    # distinction scopes the crash event: one worker
+                    # death breaks every sibling future, but it is one
+                    # crash, not one per victim.
                     if (isinstance(exception, BrokenProcessPool)
                             and unit.pool is pool):
+                        if not crashed:
+                            _obs.emit("worker.crash",
+                                      digest=unit.spec.digest(),
+                                      label=unit.spec.label,
+                                      attempt=unit.attempt)
+                            if _obs.enabled:
+                                _obs.metrics.counter(
+                                    "worker.crashes").inc()
                         crashed = True
                     outcome = settle(unit, exception)
                     if outcome is not None:
@@ -373,6 +457,10 @@ class ParallelExecutor(Executor):
                             unit.pool = None
                             unit.deadline = None
                             requeue.append(unit)
+                    _obs.emit("pool.recycle", reason="hang",
+                              requeued=len(requeue))
+                    if _obs.enabled:
+                        _obs.metrics.counter("pool.recycles").inc()
                     _kill_pool(pool)
                     pool = cf.ProcessPoolExecutor(max_workers=workers)
                     pending.extendleft(reversed(requeue))
@@ -381,6 +469,10 @@ class ParallelExecutor(Executor):
                     # other in-flight futures are already failed by the
                     # pool machinery and resolve as BrokenProcessPool on
                     # the next pass through this loop.
+                    _obs.emit("pool.recycle", reason="crash",
+                              requeued=len(inflight))
+                    if _obs.enabled:
+                        _obs.metrics.counter("pool.recycles").inc()
                     pool.shutdown(wait=False, cancel_futures=True)
                     pool = cf.ProcessPoolExecutor(max_workers=workers)
                     probe = True
@@ -447,12 +539,17 @@ def run_plan(
     units = list(plan)
     manifest = _as_manifest(manifest)
     results: list[WorkloadResult | UnitFailure | None] = [None] * len(units)
+    _obs.emit("plan.started", units=len(units), jobs=jobs)
 
     pending: list[int] = []
     for index, spec in enumerate(units):
         hit = cache.get(spec) if cache is not None else None
         if hit is not None:
             results[index] = hit
+            _obs.emit("unit.cached", digest=spec.digest(),
+                      label=spec.label)
+            if _obs.enabled:
+                _obs.metrics.counter("units.cached").inc()
             if manifest is not None:
                 manifest.record(spec.digest(), spec.label, "cached")
             if progress is not None:
@@ -492,7 +589,18 @@ def run_plan(
                         if injector is not None:
                             injector.corrupt_cache_entry(path, spec)
                 if manifest is not None:
-                    manifest.record(spec.digest(), spec.label, "ok")
+                    # A serial deadline overrun kept its (valid) result;
+                    # the manifest carries the overrun alongside the ok
+                    # so resumed sweeps neither re-run nor forget it.
+                    overrun = getattr(outcome, "deadline_overrun", None)
+                    if overrun is not None:
+                        manifest.record(
+                            spec.digest(), spec.label, "ok",
+                            kind="timeout",
+                            message=f"deadline overrun: kept result "
+                                    f"after {overrun:.3f}s")
+                    else:
+                        manifest.record(spec.digest(), spec.label, "ok")
                 if progress is not None:
                     progress(spec.label)
         finally:
@@ -502,4 +610,8 @@ def run_plan(
             if close is not None:
                 close()
 
+    failed = sum(1 for outcome in results
+                 if isinstance(outcome, UnitFailure))
+    _obs.emit("plan.finished", ok=len(units) - failed, failed=failed,
+              cached=len(units) - len(pending))
     return results  # type: ignore[return-value]

@@ -21,6 +21,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from ..obs import OBSERVER as _obs
 from .coherence import MemorySystem, make_memory_system
 from .config import SystemConfig
 from .consistency import ConsistencyModel, get_model
@@ -151,6 +152,12 @@ class GPUSimulator:
         duration = end - self._clock
         self._clock = end
         self._kernel_cycles.append(duration)
+        # Observation only (one flag check per kernel, nothing per op):
+        # modeled numbers are computed above and never depend on it.
+        if _obs.enabled:
+            metrics = _obs.metrics
+            metrics.counter("sim.kernels").inc()
+            metrics.histogram("sim.kernel_cycles").observe(duration)
         return duration
 
     def result(self) -> ExecutionResult:

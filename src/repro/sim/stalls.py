@@ -59,7 +59,17 @@ class StallBreakdown:
         return {name: fracs[name] * execution_time for name in CATEGORIES}
 
     def add(self, category: str, amount: float) -> None:
-        """Accumulate ``amount`` cycles into ``category``."""
+        """Accumulate ``amount`` cycles into ``category``.
+
+        ``category`` must be one of :data:`CATEGORIES`.  A bare
+        ``setattr`` would happily create a new attribute for a typo'd
+        name — cycles that ``total``, ``fractions`` and ``to_dict``
+        (which iterate only the known categories) silently never see.
+        """
+        if category not in CATEGORIES:
+            raise ValueError(
+                f"unknown stall category {category!r}; "
+                f"choose from {CATEGORIES}")
         setattr(self, category, getattr(self, category) + amount)
 
     def to_dict(self) -> dict:

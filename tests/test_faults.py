@@ -311,19 +311,49 @@ class TestSerialRecovery:
         assert outcome.kind == "error"
         assert outcome.exception == "InjectedTransientError"
 
-    def test_post_hoc_timeout_detection(self, small_plan):
+    def test_post_hoc_overrun_keeps_result(self, small_plan):
+        # Serial execution cannot be preempted, so an overrun is only
+        # detected after the attempt already produced a valid result.
+        # That result must be returned (with the overrun recorded), not
+        # discarded and re-simulated into a UnitFailure.
         spec = small_plan[0]
         policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0,
                              timeout=0.005)
+        calls = []
+
+        class Result:
+            pass
 
         def slow(s):
+            calls.append(s.label)
             time.sleep(0.02)
-            return object()
+            return Result()
 
         outcome = run_unit(spec, policy=policy, execute=slow)
-        assert isinstance(outcome, UnitFailure)
-        assert outcome.kind == "timeout"
-        assert outcome.attempts == 2
+        assert not isinstance(outcome, UnitFailure)
+        assert isinstance(outcome, Result)
+        assert calls == [spec.label]  # one attempt, no re-simulation
+        assert outcome.deadline_overrun > policy.timeout
+
+    def test_overrun_result_journaled_ok_with_timeout_kind(
+            self, small_plan, tmp_path):
+        # Through run_plan the kept result lands in the manifest as an
+        # "ok" carrying the overrun, so a resume neither re-runs nor
+        # forgets that the deadline was blown.
+        spec = small_plan[0]
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0,
+                             timeout=1e-6)
+        manifest = RunManifest(tmp_path / "m.jsonl")
+        outcomes = run_plan([spec], jobs=1, policy=policy,
+                            manifest=manifest)
+        assert isinstance(outcomes[0], WorkloadResult)
+        assert outcomes[0].ok
+        record = manifest.latest()[spec.digest()]
+        assert record["status"] == "ok"
+        assert record["kind"] == "timeout"
+        assert "deadline overrun" in record["message"]
+        # The marker never reaches the serialized form.
+        assert "deadline_overrun" not in outcomes[0].to_dict()
 
     def test_injected_hang_times_out_serially(self, small_plan):
         spec = small_plan[0]

@@ -164,3 +164,15 @@ class TestComparisons:
     def test_prediction_gap_at_least_one(self, sweep):
         for row in sweep.rows:
             assert row.prediction_gap >= 1.0
+
+    def test_prediction_gap_nan_outside_simulated_set(self, sweep):
+        # A restricted sweep can predict a configuration it never
+        # simulated; the gap is unknowable, not a KeyError.
+        import dataclasses
+        import math
+
+        row = dataclasses.replace(sweep.rows[0], predicted="ZZZ")
+        assert "ZZZ" not in row.workload.results
+        gap = row.prediction_gap
+        assert math.isnan(gap)
+        assert not row.prediction_exact

@@ -129,3 +129,12 @@ class TestStallBreakdown:
         b = StallBreakdown()
         b.add("sync", 5.0)
         assert b.sync == 5.0
+
+    def test_add_unknown_category_rejected(self):
+        # A typo'd category must fail loudly, not silently create an
+        # attribute that total/fractions/to_dict never see.
+        b = StallBreakdown(busy=1.0)
+        with pytest.raises(ValueError, match="unknown stall category"):
+            b.add("dta", 5.0)
+        assert b.total == 1.0
+        assert not hasattr(b, "dta")
