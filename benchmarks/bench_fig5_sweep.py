@@ -8,7 +8,8 @@ stacked bars segmented by the Busy/Comp/Data/Sync/Idle classification.
 
 import math
 
-from repro.harness import APPS, GRAPHS, render_bar, render_breakdown_bars
+from repro.harness import GRAPHS, render_bar, render_breakdown_bars
+from repro.harness import PAPER_APPS as APPS
 
 from .conftest import emit, get_sweep
 

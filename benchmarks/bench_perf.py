@@ -63,13 +63,17 @@ def _commit() -> str:
 
 def run_bench(quick: bool) -> dict:
     """Run the sweep with perf collection on; return the measurement."""
-    from repro.harness import run_sweep
+    from repro.harness import PAPER_APPS, run_sweep
     from repro.perf import collector
 
     collector.reset()
     collector.enabled = True
     try:
+        # Pinned to the paper's six applications: the committed
+        # BENCH_sweep.json baselines were measured on this matrix, and
+        # growing the default app list must not read as a regression.
         sweep = run_sweep(
+            apps=PAPER_APPS,
             max_iters=QUICK_ITERS if quick else None,
             jobs=1,
             cache=None,

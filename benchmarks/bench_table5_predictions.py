@@ -8,7 +8,8 @@ stand-ins' *measured* classes.
 
 from repro.graph import DEFAULT_SIM_SCALE, PAPER_DATASETS, load_dataset
 from repro.graph.stats import DegreeStats
-from repro.harness import APPS, render_table
+from repro.harness import PAPER_APPS as APPS
+from repro.harness import render_table
 from repro.model import predict_configuration
 from repro.taxonomy import (
     GraphProfile,

@@ -14,12 +14,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..configs import Configuration
 from ..graph.csr import CSRGraph
 from ..kernels import TraceBuilder, make_kernel
 from ..kernels.base import EdgePhase
+from ..kernels.frontier import DensityPolicy, Frontier
 from ..sim.config import DEFAULT_SYSTEM, SystemConfig
 from ..sim.engine import GPUSimulator
 from .flexible import FlexibleSimulator
@@ -29,35 +28,21 @@ __all__ = ["DirectionPolicy", "DirectionAdaptiveResult",
 
 
 @dataclass(frozen=True)
-class DirectionPolicy:
-    """Choose push or pull from per-edge cost estimates.
+class DirectionPolicy(DensityPolicy):
+    """Per-phase façade over the IR's Beamer-style density policy.
 
-    A push iteration touches only the frontier's out-edges, but each of
-    those costs an atomic (``push_edge_cost``); a pull iteration scans
-    every in-edge regardless of the frontier, at plain-load cost
-    (``pull_edge_cost``).  Pull wins once the frontier's edge share
-    exceeds ``pull_edge_cost / push_edge_cost`` of the graph.
-
-    The defaults are deliberately conservative (pull only for nearly
-    fully dense phases): on the modeled system, pull's blocking
-    scattered reads cost about as much per edge as push's relaxed
-    atomics, so elision is the dominant term.  Systems without DRFrlx
-    should raise ``push_edge_cost`` — serialized atomics shift the
-    crossover far toward pull (Section IV-B's interdependence).
+    The heuristic itself lives in
+    :class:`repro.kernels.frontier.DensityPolicy` as a first-class
+    frontier policy (see that class for the cost model and the default
+    calibration); this subclass merely adapts it to already-lowered
+    :class:`EdgePhase` objects for the adaptive runtime below.
     """
 
-    push_edge_cost: float = 1.05
-    pull_edge_cost: float = 1.0
-
-    def choose(self, phase: EdgePhase, graph: CSRGraph) -> str:
-        if graph.num_edges == 0:
-            return "push"
-        if phase.source_active is None:
-            return "pull"  # every vertex active -> dense by definition
-        active_edges = int(graph.out_degrees[phase.source_active].sum())
-        push_cost = active_edges * self.push_edge_cost
-        pull_cost = graph.num_edges * self.pull_edge_cost
-        return "pull" if pull_cost < push_cost else "push"
+    def choose(self, phase, graph: CSRGraph) -> str:
+        if isinstance(phase, Frontier):
+            return super().choose(phase, graph)
+        frontier = Frontier(graph.num_vertices, phase.source_active)
+        return super().choose(frontier, graph)
 
 
 @dataclass

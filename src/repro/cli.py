@@ -6,7 +6,8 @@ datasets              list the six dataset stand-ins and their classes
 profile GRAPH         Table II profile of one dataset (or a .mtx file)
 predict GRAPH APP     model prediction + decision-tree walkthrough
 run GRAPH APP         simulate the Figure 5 configurations for a workload
-sweep                 the full 36-workload sweep (slow)
+sweep                 the full sweep: six graphs x the registered
+                      applications (slow)
 
 ``GRAPH`` is one of AMZ DCT EML OLS RAJ WNG (built at its simulation
 scale) or a path to a Matrix Market file (profiled against the full-size
@@ -16,7 +17,8 @@ Table IV machine).
 results are memoized per workload in a content-addressed cache
 (``--cache-dir DIR``, ``--no-cache``), and ``sweep --jobs N`` fans
 workloads across N worker processes.  ``sweep --graphs``/``--apps``
-restrict the sweep to a subset of the paper's 36 workloads.
+restrict the sweep to a subset of the graph x application matrix (the
+paper's six apps plus the frontier-IR additions BFS, KC, TC, LP).
 
 Observability (``repro.obs``) is off by default and never changes
 modeled numbers: ``--events PATH`` streams typed runtime events (unit
@@ -427,7 +429,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: all six)")
     p_sweep.add_argument("--apps", default=None, metavar="APPS",
                          help="comma-separated applications to sweep "
-                              "(default: all six)")
+                              "(default: every registered kernel)")
     return parser
 
 

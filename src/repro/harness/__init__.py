@@ -14,7 +14,15 @@ from .report import (
     render_table,
 )
 from .runner import WorkloadResult, run_workload
-from .sweep import APPS, GRAPHS, SweepResult, SweepRow, run_sweep
+from .sweep import (
+    APPS,
+    GRAPHS,
+    PAPER_APPS,
+    SweepResult,
+    SweepRow,
+    is_dynamic_app,
+    run_sweep,
+)
 
 __all__ = [
     "WorkloadResult",
@@ -23,7 +31,9 @@ __all__ = [
     "SweepResult",
     "run_sweep",
     "APPS",
+    "PAPER_APPS",
     "GRAPHS",
+    "is_dynamic_app",
     "Figure6Row",
     "figure6_rows",
     "FlexibilityStats",

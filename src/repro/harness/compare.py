@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .sweep import SweepResult, SweepRow
+from .sweep import SweepResult, SweepRow, is_dynamic_app
 
 __all__ = ["Figure6Row", "figure6_rows", "FlexibilityStats",
            "flexibility_stats", "interdependence_rows"]
@@ -33,7 +33,7 @@ def figure6_rows(sweep: SweepResult) -> list[Figure6Row]:
     """Rows of Figure 6: every workload where SGR/DGR is not the best."""
     rows = []
     for row in sweep.rows_where_config_loses("SGR", "DGR"):
-        reference = "DGR" if row.app == "CC" else "SGR"
+        reference = "DGR" if is_dynamic_app(row.app) else "SGR"
         cycles = {code: res.cycles for code, res in row.workload.results.items()}
         ref = cycles[reference]
         rows.append(Figure6Row(
@@ -84,7 +84,7 @@ def interdependence_rows(sweep: SweepResult) -> list[dict]:
     """
     rows = []
     for row in sweep.rows:
-        if row.app == "CC":
+        if is_dynamic_app(row.app):
             continue
         cycles = {code: res.cycles
                   for code, res in row.workload.results.items()}

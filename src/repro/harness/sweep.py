@@ -18,6 +18,7 @@ from pathlib import Path
 from typing import Callable, Iterable
 
 from ..graph.datasets import DEFAULT_SIM_SCALE
+from ..kernels.registry import KERNELS
 from ..model import predict_configuration, predict_partial_configuration
 from ..obs import OBSERVER as _obs
 from ..runtime import (
@@ -34,10 +35,28 @@ from ..sim.config import DEFAULT_SYSTEM, SystemConfig
 from ..taxonomy import profile_graph, profile_workload
 from .runner import WorkloadResult
 
-__all__ = ["SweepRow", "SweepResult", "run_sweep", "APPS", "GRAPHS"]
+__all__ = ["SweepRow", "SweepResult", "run_sweep", "APPS", "PAPER_APPS",
+           "GRAPHS", "is_dynamic_app"]
 
-APPS: tuple[str, ...] = ("PR", "SSSP", "MIS", "CLR", "BC", "CC")
+#: The full application matrix, derived from the kernel registry —
+#: registering a new kernel automatically adds it to sweeps and the CLI.
+APPS: tuple[str, ...] = tuple(KERNELS)
+#: The paper's original Table III applications (a prefix of ``APPS``).
+#: Paper-pinned artifacts — Table V comparisons against published
+#: numbers, the perf-regression baseline — sweep exactly these six;
+#: everything else defaults to the full matrix.
+PAPER_APPS: tuple[str, ...] = ("PR", "SSSP", "MIS", "CLR", "BC", "CC")
 GRAPHS: tuple[str, ...] = ("AMZ", "DCT", "EML", "OLS", "RAJ", "WNG")
+
+
+def is_dynamic_app(app: str) -> bool:
+    """Whether an application is dynamic-traversal (CC-like).
+
+    Dynamic apps take the D-direction configuration space and the DG1
+    baseline; the check consults the kernel registry rather than
+    hardcoding app names so new dynamic kernels slot in untouched.
+    """
+    return KERNELS[app].traversal == "dynamic"
 
 
 @dataclass
@@ -137,11 +156,12 @@ class SweepResult:
                                 dynamic_code: str = "DGR") -> list:
         """Workloads where the default push config is not the best.
 
-        This is Figure 6's selection: SGR for static apps, DGR for CC.
+        This is Figure 6's selection: SGR for static apps, DGR for
+        dynamic-traversal apps (CC).
         """
         losers = []
         for row in self.rows:
-            reference = dynamic_code if row.app == "CC" else code
+            reference = dynamic_code if is_dynamic_app(row.app) else code
             if row.best != reference:
                 losers.append(row)
         return losers

@@ -1,4 +1,11 @@
-"""Graph kernels: the six applications plus phase/trace machinery."""
+"""Graph kernels: the application matrix plus phase/trace machinery.
+
+Applications are written against the frontier/operator IR
+(:mod:`repro.kernels.frontier`); their operator programs lower to the
+phase dataclasses in :mod:`repro.kernels.base`, which the trace
+generator (:mod:`repro.kernels.tracegen`) realizes as push or pull
+memory traces.
+"""
 
 from .base import (
     DynamicPhase,
@@ -7,19 +14,41 @@ from .base import (
     VertexPhase,
 )
 from .bc import BCResult, BetweennessCentrality
+from .bfs import BFS
 from .cc import ConnectedComponents
 from .coloring import GraphColoring
+from .frontier import (
+    Advance,
+    Compute,
+    DensityPolicy,
+    Filter,
+    Frontier,
+    FrontierKernel,
+    FrontierPolicy,
+    lower,
+)
+from .kcore import KCore
+from .labelprop import LabelPropagation
 from .mis import MIS
 from .pagerank import PageRank
 from .registry import KERNELS, make_kernel
 from .sssp import SSSP
 from .tracegen import TraceBuilder
+from .triangle import TriangleCounting
 
 __all__ = [
     "GraphKernel",
     "EdgePhase",
     "VertexPhase",
     "DynamicPhase",
+    "Frontier",
+    "Advance",
+    "Filter",
+    "Compute",
+    "lower",
+    "FrontierKernel",
+    "FrontierPolicy",
+    "DensityPolicy",
     "PageRank",
     "SSSP",
     "MIS",
@@ -27,6 +56,10 @@ __all__ = [
     "BetweennessCentrality",
     "BCResult",
     "ConnectedComponents",
+    "BFS",
+    "KCore",
+    "TriangleCounting",
+    "LabelPropagation",
     "KERNELS",
     "make_kernel",
     "TraceBuilder",

@@ -121,6 +121,13 @@ class GraphKernel(abc.ABC):
     app: str = "?"
     #: 'static' apps realize both push and pull; 'dynamic' apps only one.
     traversal: str = "static"
+    #: Table III control asymmetry: 'source' | 'target' | 'symmetric',
+    #: or '-' for dynamic-traversal apps.  The taxonomy layer derives
+    #: its per-application property table from the kernel registry, so
+    #: newly registered kernels classify without further wiring.
+    control: str = "symmetric"
+    #: Table III information asymmetry (same vocabulary as ``control``).
+    information: str = "symmetric"
 
     def __init__(self, graph: CSRGraph, seed: int = 0) -> None:
         self.graph = graph

@@ -17,7 +17,7 @@ from typing import Iterator
 
 import numpy as np
 
-from .base import EdgePhase, GraphKernel
+from .frontier import Advance, Frontier, FrontierKernel
 
 __all__ = ["BetweennessCentrality", "BCResult"]
 
@@ -36,11 +36,13 @@ class BCResult:
         return self.delta
 
 
-class BetweennessCentrality(GraphKernel):
+class BetweennessCentrality(FrontierKernel):
     """Level-synchronous single-source Brandes from the max-degree vertex."""
 
     app = "BC"
     traversal = "static"
+    control = "source"
+    information = "symmetric"
 
     def __init__(self, graph, seed: int = 0, source: int | None = None) -> None:
         super().__init__(graph, seed)
@@ -100,7 +102,7 @@ class BetweennessCentrality(GraphKernel):
         return BCResult(level=level, sigma=sigma, delta=delta)
 
     # ------------------------------------------------------------------
-    def iterations(self, max_iters: int | None = None) -> Iterator[list]:
+    def frontier_iterations(self, max_iters: int | None = None) -> Iterator[list]:
         limit = (max_iters if max_iters is not None
                  else self.default_sim_iterations())
         level, sigma = self._forward()
@@ -110,10 +112,10 @@ class BetweennessCentrality(GraphKernel):
             frontier = level == depth
             unvisited = level > depth  # discovered at depth+1 or later
             yield [
-                EdgePhase(
+                Advance(
                     name=f"bc_fwd{depth}",
-                    source_active=frontier,
-                    target_active=unvisited | (level == -1),
+                    source=Frontier.from_mask(frontier),
+                    target=Frontier.from_mask(unvisited | (level == -1)),
                     source_arrays=("sigma",),
                     update_arrays=("sigma",),
                 )
@@ -123,10 +125,10 @@ class BetweennessCentrality(GraphKernel):
             pushers = level == depth
             receivers = level == depth - 1
             yield [
-                EdgePhase(
+                Advance(
                     name=f"bc_bwd{depth}",
-                    source_active=pushers,
-                    target_active=receivers,
+                    source=Frontier.from_mask(pushers),
+                    target=Frontier.from_mask(receivers),
                     source_arrays=("sigma", "delta"),
                     target_arrays=("sigma",),
                     update_arrays=("delta",),

@@ -24,7 +24,8 @@ from typing import Iterator
 
 import numpy as np
 
-from .base import DynamicPhase, GraphKernel
+from .base import DynamicPhase
+from .frontier import FrontierKernel
 
 __all__ = ["ConnectedComponents"]
 
@@ -39,11 +40,15 @@ def _roots(parent: np.ndarray) -> np.ndarray:
         roots = nxt
 
 
-class ConnectedComponents(GraphKernel):
+class ConnectedComponents(FrontierKernel):
     """Parallel union-find with hooking and pointer jumping."""
 
     app = "CC"
     traversal = "dynamic"
+    # Racy push and pull updates share one loop body, so the asymmetry
+    # dimensions do not apply (the paper's '-' entries in Table III).
+    control = "-"
+    information = "-"
 
     def default_sim_iterations(self) -> int:
         return 8
@@ -100,7 +105,10 @@ class ConnectedComponents(GraphKernel):
             values[position[live] + d] = stacked[d][live]
         return offsets, values
 
-    def iterations(self, max_iters: int | None = None) -> Iterator[list]:
+    def frontier_iterations(self, max_iters: int | None = None) -> Iterator[list]:
+        # Dynamic phases are already in lowered form: data-dependent
+        # traversal has no static frontier, so the operator vocabulary
+        # passes them through (see repro.kernels.frontier.lower).
         g = self.graph
         n = g.num_vertices
         limit = (max_iters if max_iters is not None

@@ -17,18 +17,20 @@ from typing import Iterator
 
 import numpy as np
 
-from .base import EdgePhase, GraphKernel, VertexPhase
+from .frontier import Advance, Compute, Frontier, FrontierKernel
 
 __all__ = ["GraphColoring"]
 
 UNCOLORED = -1
 
 
-class GraphColoring(GraphKernel):
+class GraphColoring(FrontierKernel):
     """Max-min independent-set graph coloring."""
 
     app = "CLR"
     traversal = "static"
+    control = "symmetric"
+    information = "target"
 
     def _values(self) -> np.ndarray:
         rng = np.random.default_rng(self.seed + 211)
@@ -65,29 +67,29 @@ class GraphColoring(GraphKernel):
             color = self._round(color, value, r)
         return color
 
-    def iterations(self, max_iters: int | None = None) -> Iterator[list]:
+    def frontier_iterations(self, max_iters: int | None = None) -> Iterator[list]:
         n = self.graph.num_vertices
         limit = (max_iters if max_iters is not None
                  else self.default_sim_iterations())
         value = self._values()
         color = np.full(n, UNCOLORED, dtype=np.int64)
         for r in range(limit):
-            uncolored = color == UNCOLORED
+            uncolored = Frontier.from_mask(color == UNCOLORED)
             if not uncolored.any():
                 break
             yield [
-                EdgePhase(
+                Advance(
                     name="clr_minmax",
-                    source_active=uncolored,
-                    target_active=uncolored,
+                    source=uncolored,
+                    target=uncolored,
                     source_arrays=("value",),
                     target_arrays=("color",),
                     update_arrays=("nbr_max",),
                     check_target_pred_in_push=False,
                 ),
-                VertexPhase(
+                Compute(
                     name="clr_assign",
-                    active=uncolored,
+                    frontier=uncolored,
                     read_arrays=("value", "nbr_max"),
                     write_arrays=("color", "vstate"),
                 ),

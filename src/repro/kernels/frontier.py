@@ -1,0 +1,333 @@
+"""Frontier/operator IR: the kernel layer's common intermediate form.
+
+Gunrock-style frameworks ("Essentials of Parallel Graph Analytics",
+PAPERS.md) decompose every graph algorithm into a small set of
+**frontier operators**: *advance* expands an active vertex set along
+edges, *filter* prunes or re-derives the active set from per-vertex
+state, and *compute* applies a vertex-local functor.  Besta et al.'s
+push/pull taxonomy maps those operators directly onto this repo's
+update-propagation dimension — an ``Advance`` is exactly the dual
+edge kernel of Figure 1, realizable as push or pull.
+
+This module is that decomposition made explicit:
+
+* :class:`Frontier` — a dense active-vertex set with density
+  accounting (``count``/``density``/``edge_share``).  The all-active
+  frontier is represented *without* a mask so operator lowering keeps
+  phase masks ``None`` — dense kernels skip the predicate loads,
+  bit-identically to the hand-written phase lists the applications
+  used to build.
+* :class:`Advance` / :class:`Filter` / :class:`Compute` — operator
+  records that **lower** to the existing :class:`~repro.kernels.base`
+  phase dataclasses (``EdgePhase`` / ``VertexPhase``).  Dynamic
+  (data-dependent) traversals such as CC's union-find do not fit the
+  static operator set; their :class:`~repro.kernels.base.DynamicPhase`
+  objects pass through :func:`lower` unchanged.
+* :class:`FrontierKernel` — the base class applications derive from:
+  they implement :meth:`~FrontierKernel.frontier_iterations` (operator
+  programs) and inherit ``iterations()`` (the phase feed the trace
+  generator and simulators consume) via lowering.
+* :class:`DensityPolicy` — the Beamer-style direction heuristic as a
+  first-class frontier policy: push while the frontier's edge share is
+  small, pull once a dense frontier makes gather loads cheaper than
+  scattered atomics.  ``repro.adaptive.direction`` builds its
+  per-phase switching on top of this instead of carrying its own
+  out-of-band copy of the heuristic.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .base import DynamicPhase, EdgePhase, GraphKernel, VertexPhase
+
+__all__ = [
+    "Frontier",
+    "Advance",
+    "Filter",
+    "Compute",
+    "lower",
+    "FrontierKernel",
+    "FrontierPolicy",
+    "DensityPolicy",
+]
+
+
+class Frontier:
+    """An active vertex set with density accounting.
+
+    ``mask`` is either a bool array of shape ``(num_vertices,)`` or
+    ``None`` for the all-active frontier.  Keeping the all-active case
+    mask-free is a lowering guarantee, not an optimization: a phase
+    whose mask is ``None`` skips the per-warp predicate loads, so the
+    distinction is visible in modeled timing and must round-trip
+    through the IR exactly.
+    """
+
+    __slots__ = ("num_vertices", "mask")
+
+    def __init__(self, num_vertices: int, mask: np.ndarray | None = None):
+        if mask is not None:
+            mask = np.asarray(mask)
+            if mask.dtype != np.bool_ or mask.shape != (num_vertices,):
+                raise ValueError(
+                    f"frontier mask must be a bool array of shape "
+                    f"({num_vertices},), got dtype={mask.dtype} "
+                    f"shape={mask.shape}"
+                )
+        self.num_vertices = int(num_vertices)
+        self.mask = mask
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def full(cls, num_vertices: int) -> "Frontier":
+        """Every vertex active (lowered phases carry no mask)."""
+        return cls(num_vertices, None)
+
+    @classmethod
+    def from_mask(cls, mask: np.ndarray) -> "Frontier":
+        """A dense frontier over an existing bool mask (no copy)."""
+        mask = np.asarray(mask)
+        return cls(mask.shape[0] if mask.ndim == 1 else -1, mask)
+
+    @classmethod
+    def from_indices(cls, indices, num_vertices: int) -> "Frontier":
+        """A frontier from a sparse active-vertex index list."""
+        mask = np.zeros(num_vertices, dtype=bool)
+        mask[np.asarray(indices, dtype=np.int64)] = True
+        return cls(num_vertices, mask)
+
+    # -- accounting -----------------------------------------------------
+    @property
+    def is_full(self) -> bool:
+        return self.mask is None
+
+    @property
+    def count(self) -> int:
+        """Number of active vertices."""
+        if self.mask is None:
+            return self.num_vertices
+        return int(self.mask.sum())
+
+    @property
+    def density(self) -> float:
+        """Active fraction of the vertex set (0..1)."""
+        return self.count / max(self.num_vertices, 1)
+
+    def any(self) -> bool:
+        if self.mask is None:
+            return self.num_vertices > 0
+        return bool(self.mask.any())
+
+    def edge_count(self, graph: CSRGraph) -> int:
+        """Out-edges incident to the active set (push's work bound)."""
+        if self.mask is None:
+            return graph.num_edges
+        return int(graph.out_degrees[self.mask].sum())
+
+    def edge_share(self, graph: CSRGraph) -> float:
+        """Active out-edge fraction of the graph (0..1)."""
+        return self.edge_count(graph) / max(graph.num_edges, 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.mask is None:
+            return f"Frontier(full, n={self.num_vertices})"
+        return (f"Frontier({self.count}/{self.num_vertices}, "
+                f"density={self.density:.3f})")
+
+
+# ---------------------------------------------------------------------------
+# Operators.  Field names and defaults deliberately mirror the phase
+# dataclasses they lower to: lowering is a field-for-field translation,
+# so an operator program produces phases bit-identical to hand-written
+# phase lists (the golden-fixture contract of the IR port).
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Advance:
+    """Expand ``source`` along edges into ``target`` (the dual edge kernel).
+
+    Lowers to :class:`EdgePhase`: the push realization iterates the
+    source frontier's out-edges with sparse remote atomics; the pull
+    realization iterates the target frontier's in-edges with gather
+    loads.  See :class:`~repro.kernels.base.EdgePhase` for the
+    semantics of each knob.
+    """
+
+    name: str
+    source: Frontier
+    target: Frontier
+    source_arrays: tuple[str, ...] = ()
+    target_arrays: tuple[str, ...] = ()
+    update_arrays: tuple[str, ...] = ("prop_next",)
+    uses_weights: bool = False
+    atomic_needs_value: bool = False
+    check_target_pred_in_push: bool = True
+    compute_per_edge: int = 1
+    pull_extra_compute_per_edge: int = 0
+    push_hoisted_compute: int = 0
+
+    def lower(self) -> EdgePhase:
+        return EdgePhase(
+            name=self.name,
+            source_active=self.source.mask,
+            target_active=self.target.mask,
+            source_arrays=self.source_arrays,
+            target_arrays=self.target_arrays,
+            update_arrays=self.update_arrays,
+            uses_weights=self.uses_weights,
+            atomic_needs_value=self.atomic_needs_value,
+            check_target_pred_in_push=self.check_target_pred_in_push,
+            compute_per_edge=self.compute_per_edge,
+            pull_extra_compute_per_edge=self.pull_extra_compute_per_edge,
+            push_hoisted_compute=self.push_hoisted_compute,
+        )
+
+
+@dataclass
+class Filter:
+    """Derive the next frontier from per-vertex state (writes ``vstate``).
+
+    Lowers to a :class:`VertexPhase` whose write set is the vertex
+    state/flag array the trace generator reads for predicate checks.
+    """
+
+    name: str
+    frontier: Frontier
+    read_arrays: tuple[str, ...] = ()
+    write_arrays: tuple[str, ...] = ("vstate",)
+    compute: int = 1
+
+    def lower(self) -> VertexPhase:
+        return VertexPhase(
+            name=self.name,
+            active=self.frontier.mask,
+            read_arrays=self.read_arrays,
+            write_arrays=self.write_arrays,
+            compute=self.compute,
+        )
+
+
+@dataclass
+class Compute:
+    """Apply a vertex-local functor over the frontier."""
+
+    name: str
+    frontier: Frontier
+    read_arrays: tuple[str, ...] = ()
+    write_arrays: tuple[str, ...] = ()
+    compute: int = 1
+
+    def lower(self) -> VertexPhase:
+        return VertexPhase(
+            name=self.name,
+            active=self.frontier.mask,
+            read_arrays=self.read_arrays,
+            write_arrays=self.write_arrays,
+            compute=self.compute,
+        )
+
+
+def lower(op):
+    """Lower one IR node to its phase dataclass.
+
+    Already-lowered phases (notably :class:`DynamicPhase` for
+    data-dependent traversals, where push-vs-pull is not a choice)
+    pass through unchanged.
+    """
+    if isinstance(op, (Advance, Filter, Compute)):
+        return op.lower()
+    if isinstance(op, (EdgePhase, VertexPhase, DynamicPhase)):
+        return op
+    raise TypeError(f"cannot lower {type(op).__name__} to a kernel phase")
+
+
+# ---------------------------------------------------------------------------
+# Frontier policies: first-class direction heuristics over the IR.
+# ---------------------------------------------------------------------------
+
+class FrontierPolicy(abc.ABC):
+    """Chooses an update-propagation direction for one frontier."""
+
+    @abc.abstractmethod
+    def choose(self, frontier: Frontier, graph: CSRGraph) -> str:
+        """Return ``'push'`` or ``'pull'`` for this frontier."""
+
+
+@dataclass(frozen=True)
+class DensityPolicy(FrontierPolicy):
+    """Beamer-style density switching from per-edge cost estimates.
+
+    A push iteration touches only the frontier's out-edges, but each of
+    those costs an atomic (``push_edge_cost``); a pull iteration scans
+    every in-edge regardless of the frontier, at plain-load cost
+    (``pull_edge_cost``).  Pull wins once the frontier's edge share
+    exceeds ``pull_edge_cost / push_edge_cost`` of the graph.
+
+    The defaults are deliberately conservative (pull only for nearly
+    fully dense phases): on the modeled system, pull's blocking
+    scattered reads cost about as much per edge as push's relaxed
+    atomics, so elision is the dominant term.  Systems without DRFrlx
+    should raise ``push_edge_cost`` — serialized atomics shift the
+    crossover far toward pull (Section IV-B's interdependence).
+    """
+
+    push_edge_cost: float = 1.05
+    pull_edge_cost: float = 1.0
+
+    def choose(self, frontier: Frontier, graph: CSRGraph) -> str:
+        if graph.num_edges == 0:
+            return "push"
+        if frontier.is_full:
+            return "pull"  # every vertex active -> dense by definition
+        push_cost = frontier.edge_count(graph) * self.push_edge_cost
+        pull_cost = graph.num_edges * self.pull_edge_cost
+        return "pull" if pull_cost < push_cost else "push"
+
+
+# ---------------------------------------------------------------------------
+# Kernel base class.
+# ---------------------------------------------------------------------------
+
+class FrontierKernel(GraphKernel):
+    """A graph kernel expressed as a frontier-operator program.
+
+    Subclasses implement :meth:`frontier_iterations`, yielding one
+    operator list per iteration; the inherited :meth:`iterations`
+    lowers each operator to its phase, so the trace generator, the
+    simulators, and the adaptive runtime consume frontier kernels
+    unchanged.
+    """
+
+    def frontier_iterations(self, max_iters: int | None = None):
+        """Yield per-iteration operator lists (IR form of the app)."""
+        raise NotImplementedError
+
+    def iterations(self, max_iters: int | None = None):
+        for ops in self.frontier_iterations(max_iters):
+            yield [lower(op) for op in ops]
+
+    def direction_schedule(
+        self,
+        policy: FrontierPolicy | None = None,
+        max_iters: int | None = None,
+    ) -> list[str]:
+        """Per-iteration push/pull choices under a frontier policy.
+
+        The decision is made on the first :class:`Advance` of each
+        iteration (iterations without one default to push — vertex and
+        dynamic phases realize identically in both directions).
+        """
+        policy = policy or DensityPolicy()
+        schedule = []
+        for ops in self.frontier_iterations(max_iters):
+            advances = [op for op in ops if isinstance(op, Advance)]
+            schedule.append(
+                policy.choose(advances[0].source, self.graph)
+                if advances else "push"
+            )
+        return schedule

@@ -1,0 +1,107 @@
+"""k-core decomposition (KC), peeling style.
+
+Beyond the paper's six workloads.  Static traversal, **source** control
+(only the round's peeled vertices propagate degree decrements — push
+elides every surviving vertex's edge loop, and the peel frontier is
+tiny relative to the graph) and **symmetric** information (the
+decrement itself carries no data, but both realizations read the
+endpoint liveness flags: push tests the target's, pull the source's).
+
+Each round peels every live vertex whose residual degree has fallen to
+the current threshold ``k``, assigns it core number ``k``, and pushes
+``atomicSub`` decrements to its surviving neighbors — ParK/Pannotia
+style.  The atomic's return value is not consumed (a filter kernel
+re-scans degrees), so the decrements are fire-and-forget updates that
+DRFrlx can overlap, like SSSP's relaxations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .frontier import Advance, Filter, Frontier, FrontierKernel
+
+__all__ = ["KCore"]
+
+
+class KCore(FrontierKernel):
+    """Iterative peeling; returns the core number of every vertex."""
+
+    app = "KC"
+    traversal = "static"
+    control = "source"
+    information = "symmetric"
+
+    def _peel_round(
+        self, degree: np.ndarray, alive: np.ndarray, k: int
+    ) -> np.ndarray:
+        """Vertices leaving the k-core this round (may be empty)."""
+        return alive & (degree <= k)
+
+    def _decrement(self, degree: np.ndarray, peeled: np.ndarray) -> np.ndarray:
+        """Subtract each peeled vertex's edges from its neighbors."""
+        g = self.graph
+        sources = np.repeat(
+            np.arange(g.num_vertices, dtype=np.int64), g.out_degrees
+        )
+        sel = peeled[sources]
+        new_degree = degree.copy()
+        np.subtract.at(new_degree, g.indices[sel], 1)
+        return new_degree
+
+    def functional(self, max_iters: int | None = None) -> np.ndarray:
+        """Core number per vertex (0 for isolated vertices)."""
+        g = self.graph
+        n = g.num_vertices
+        limit = max_iters if max_iters is not None else 2 * n + 2
+        degree = g.out_degrees.astype(np.int64)
+        alive = np.ones(n, dtype=bool)
+        core = np.zeros(n, dtype=np.int64)
+        k = 0
+        for _ in range(limit):
+            if not alive.any():
+                break
+            peeled = self._peel_round(degree, alive, k)
+            if not peeled.any():
+                k += 1
+                continue
+            core[peeled] = k
+            alive = alive & ~peeled
+            degree = self._decrement(degree, peeled)
+        return core
+
+    def frontier_iterations(self, max_iters: int | None = None) -> Iterator[list]:
+        g = self.graph
+        n = g.num_vertices
+        limit = (max_iters if max_iters is not None
+                 else self.default_sim_iterations())
+        degree = g.out_degrees.astype(np.int64)
+        alive = np.ones(n, dtype=bool)
+        k = 0
+        rounds = 0
+        # Only rounds that actually peel become kernel launches; threshold
+        # bumps that find nothing to remove cost no work on the device.
+        while rounds < limit and alive.any():
+            peeled = self._peel_round(degree, alive, k)
+            if not peeled.any():
+                k += 1
+                continue
+            survivors = alive & ~peeled
+            yield [
+                Advance(
+                    name=f"kc_peel{rounds}",
+                    source=Frontier.from_mask(peeled),
+                    target=Frontier.from_mask(survivors),
+                    update_arrays=("degree",),
+                ),
+                Filter(
+                    name=f"kc_scan{rounds}",
+                    frontier=Frontier.from_mask(survivors),
+                    read_arrays=("degree",),
+                ),
+            ]
+            alive = survivors
+            degree = self._decrement(degree, peeled)
+            rounds += 1

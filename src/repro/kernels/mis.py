@@ -18,18 +18,20 @@ from typing import Iterator
 
 import numpy as np
 
-from .base import EdgePhase, GraphKernel, VertexPhase
+from .frontier import Advance, Filter, Frontier, FrontierKernel
 
 __all__ = ["MIS"]
 
 UNDECIDED, IN_SET, OUT = 0, 1, 2
 
 
-class MIS(GraphKernel):
+class MIS(FrontierKernel):
     """Luby's randomized maximal independent set."""
 
     app = "MIS"
     traversal = "static"
+    control = "symmetric"
+    information = "symmetric"
 
     def _priorities(self) -> np.ndarray:
         rng = np.random.default_rng(self.seed + 101)
@@ -72,30 +74,29 @@ class MIS(GraphKernel):
             state = self._round(state, priority)
         return state
 
-    def iterations(self, max_iters: int | None = None) -> Iterator[list]:
+    def frontier_iterations(self, max_iters: int | None = None) -> Iterator[list]:
         n = self.graph.num_vertices
         limit = (max_iters if max_iters is not None
                  else self.default_sim_iterations())
         priority = self._priorities()
         state = np.zeros(n, dtype=np.int64)
         for _ in range(limit):
-            undecided = state == UNDECIDED
+            undecided = Frontier.from_mask(state == UNDECIDED)
             if not undecided.any():
                 break
             yield [
-                EdgePhase(
+                Advance(
                     name="mis_max",
-                    source_active=undecided,
-                    target_active=undecided,
+                    source=undecided,
+                    target=undecided,
                     source_arrays=("priority",),
                     update_arrays=("neighbor_max",),
                     check_target_pred_in_push=False,
                 ),
-                VertexPhase(
+                Filter(
                     name="mis_decide",
-                    active=undecided,
+                    frontier=undecided,
                     read_arrays=("priority", "neighbor_max"),
-                    write_arrays=("vstate",),
                 ),
             ]
             state = self._round(state, priority)

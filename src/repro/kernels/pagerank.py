@@ -17,16 +17,18 @@ from typing import Iterator
 
 import numpy as np
 
-from .base import EdgePhase, GraphKernel
+from .frontier import Advance, Frontier, FrontierKernel
 
 __all__ = ["PageRank"]
 
 
-class PageRank(GraphKernel):
+class PageRank(FrontierKernel):
     """Damped PageRank over the symmetric input graph."""
 
     app = "PR"
     traversal = "static"
+    control = "symmetric"
+    information = "source"
 
     def __init__(self, graph, seed: int = 0, damping: float = 0.85,
                  tol: float = 1e-8) -> None:
@@ -59,15 +61,18 @@ class PageRank(GraphKernel):
                 break
         return rank
 
-    def iterations(self, max_iters: int | None = None) -> Iterator[list]:
+    def frontier_iterations(self, max_iters: int | None = None) -> Iterator[list]:
         limit = max_iters if max_iters is not None else self.default_sim_iterations()
+        everyone = Frontier.full(self.graph.num_vertices)
         for i in range(limit):
             # Double-buffered ranks: read this iteration's buffer, update
             # the other (Figure 1's i / i+1 property indexing).
             read_buf, write_buf = ("rank_a", "rank_b")[:: 1 if i % 2 == 0 else -1]
             yield [
-                EdgePhase(
+                Advance(
                     name="pr",
+                    source=everyone,
+                    target=everyone,
                     # Each edge reads the source's rank and out-degree
                     # (rank/outdeg is the propagated contribution); push
                     # hoists both loads, pull re-reads them per edge.

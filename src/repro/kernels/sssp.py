@@ -17,18 +17,20 @@ from typing import Iterator
 
 import numpy as np
 
-from .base import EdgePhase, GraphKernel
+from .frontier import Advance, Frontier, FrontierKernel
 
 __all__ = ["SSSP"]
 
 INF = np.float64(np.inf)
 
 
-class SSSP(GraphKernel):
+class SSSP(FrontierKernel):
     """Frontier-based Bellman-Ford from the highest-degree vertex."""
 
     app = "SSSP"
     traversal = "static"
+    control = "source"
+    information = "source"
 
     def __init__(self, graph, seed: int = 0, source: int | None = None) -> None:
         super().__init__(graph, seed)
@@ -79,7 +81,7 @@ class SSSP(GraphKernel):
                 break
         return dist
 
-    def iterations(self, max_iters: int | None = None) -> Iterator[list]:
+    def frontier_iterations(self, max_iters: int | None = None) -> Iterator[list]:
         g = self.graph
         limit = (max_iters if max_iters is not None
                  else self.default_sim_iterations() + 1)
@@ -87,13 +89,15 @@ class SSSP(GraphKernel):
         dist[self.source] = 0.0
         frontier = np.zeros(g.num_vertices, dtype=bool)
         frontier[self.source] = True
+        everyone = Frontier.full(g.num_vertices)
         for _ in range(limit):
             if not frontier.any():
                 break
             yield [
-                EdgePhase(
+                Advance(
                     name="sssp",
-                    source_active=frontier,
+                    source=Frontier.from_mask(frontier),
+                    target=everyone,
                     source_arrays=("dist",),
                     update_arrays=("dist",),
                     uses_weights=True,

@@ -137,6 +137,30 @@ def _round_tables(offs_desc, degs_desc, neigh_np, epl):
             nbq_vals, nbq_counts, nbq_cuts)
 
 
+def _check_mask(mask, phase_name: str, role: str, num_vertices: int) -> None:
+    """Reject malformed active masks before they poison a realization.
+
+    A non-bool mask silently changes digest keys and predicate
+    semantics (``tolist()`` of an int mask still "works"), and a
+    wrong-length mask raises an opaque IndexError deep in the warp
+    loops — so both are rejected up front with the phase named.
+    """
+    if mask is None:
+        return
+    if not isinstance(mask, np.ndarray) or mask.dtype != np.bool_:
+        got = (mask.dtype if isinstance(mask, np.ndarray)
+               else type(mask).__name__)
+        raise ValueError(
+            f"phase {phase_name!r}: {role} mask must be a bool ndarray, "
+            f"got {got}"
+        )
+    if mask.shape != (num_vertices,):
+        raise ValueError(
+            f"phase {phase_name!r}: {role} mask has shape {mask.shape}, "
+            f"expected ({num_vertices},) to match the graph"
+        )
+
+
 def _digest(arr) -> str:
     """Content digest of an optional ndarray for memoization keys."""
     if arr is None:
@@ -172,6 +196,7 @@ class TraceBuilder:
         phases of a push+pull sweep) are therefore realized once per
         workload and the cached :class:`KernelTrace` object is returned.
         """
+        self._validate(phase)
         key = self._fingerprint(phase, direction)
         memo = self._memo
         trace = memo.pop(key, None)
@@ -191,6 +216,14 @@ class TraceBuilder:
         return [self.realize(phase, direction) for phase in phases]
 
     # ------------------------------------------------------------------
+    def _validate(self, phase) -> None:
+        n = self.graph.num_vertices
+        if isinstance(phase, EdgePhase):
+            _check_mask(phase.source_active, phase.name, "source_active", n)
+            _check_mask(phase.target_active, phase.name, "target_active", n)
+        elif isinstance(phase, (VertexPhase, DynamicPhase)):
+            _check_mask(phase.active, phase.name, "active", n)
+
     def _fingerprint(self, phase, direction: str) -> tuple:
         if isinstance(phase, VertexPhase):
             return ("vertex", phase.name, tuple(phase.read_arrays),

@@ -381,6 +381,7 @@ class ParallelExecutor(Executor):
 
                 ready: list[tuple[int, WorkloadResult | UnitFailure]] = []
                 crashed = False
+                broken_current: list[_Unit] = []
                 for future in done:
                     unit = inflight.pop(future)
                     exception = future.exception()
@@ -399,26 +400,56 @@ class ParallelExecutor(Executor):
                                       WorkloadResult.from_dict(
                                           future.result())))
                         continue
-                    # Only a break of the *current* pool needs a respawn;
-                    # stale futures from an already-replaced pool resolve
-                    # broken too, but their pool is long gone.  The same
-                    # distinction scopes the crash event: one worker
-                    # death breaks every sibling future, but it is one
-                    # crash, not one per victim.
-                    if (isinstance(exception, BrokenProcessPool)
-                            and unit.pool is pool):
-                        if not crashed:
-                            _obs.emit("worker.crash",
-                                      digest=unit.spec.digest(),
-                                      label=unit.spec.label,
-                                      attempt=unit.attempt)
-                            if _obs.enabled:
-                                _obs.metrics.counter(
-                                    "worker.crashes").inc()
-                        crashed = True
+                    if isinstance(exception, BrokenProcessPool):
+                        # Only a break of the *current* pool needs a
+                        # respawn; stale futures from an already-replaced
+                        # pool resolve broken too, but their pool is long
+                        # gone — those victims are innocent by
+                        # construction (the guilty unit was identified
+                        # when their pool died) and requeue uncharged.
+                        # The same distinction scopes the crash event:
+                        # one worker death breaks every sibling future,
+                        # but it is one crash, not one per victim.
+                        if unit.pool is pool:
+                            if not crashed:
+                                _obs.emit("worker.crash",
+                                          digest=unit.spec.digest(),
+                                          label=unit.spec.label,
+                                          attempt=unit.attempt)
+                                if _obs.enabled:
+                                    _obs.metrics.counter(
+                                        "worker.crashes").inc()
+                            crashed = True
+                            broken_current.append(unit)
+                        else:
+                            unit.pool = None
+                            unit.deadline = None
+                            pending.append(unit)
+                        continue
                     outcome = settle(unit, exception)
                     if outcome is not None:
                         ready.append((unit.position, outcome))
+
+                # Attribute the crash.  A unit that broke the pool while
+                # flying *alone* is definitively guilty and is charged an
+                # attempt; when siblings were aboard, blame cannot be
+                # pinned, so every victim requeues uncharged and
+                # probation (below) isolates the guilty spec on its next
+                # flight.  Without this distinction a crashy spec bleeds
+                # innocent units' retry budgets dry.
+                if broken_current:
+                    solo = len(broken_current) == 1 and not inflight
+                    if solo:
+                        guilty = broken_current[0]
+                        outcome = settle(guilty, BrokenProcessPool(
+                            "worker process died"))
+                        if outcome is not None:
+                            ready.append((guilty.position, outcome))
+                    else:
+                        for unit in broken_current:
+                            unit.pool = None
+                            unit.deadline = None
+                            pending.append(unit)
 
                 now = time.monotonic()
                 overdue = any(

@@ -12,12 +12,20 @@ Three per-application properties, determined by inspection of the kernels:
 Dynamic-traversal applications perform racy push and pull updates in the
 same loop body, so control/information asymmetry does not apply (the
 paper's '-' entries); we model that as ``NOT_APPLICABLE``.
+
+The per-application table is **derived from the kernel registry**: each
+kernel class declares its own ``traversal``/``control``/``information``
+strings (:class:`repro.kernels.base.GraphKernel`), so registering a new
+workload automatically gives it a Table III row — the taxonomy needs no
+parallel bookkeeping.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+
+from ..kernels.registry import KERNELS
 
 __all__ = [
     "Traversal",
@@ -69,26 +77,19 @@ class AlgorithmicProperties:
         }
 
 
-APP_PROPERTIES: dict[str, AlgorithmicProperties] = {
-    "PR": AlgorithmicProperties(
-        "PR", Traversal.STATIC, Control.SYMMETRIC, Information.SOURCE
-    ),
-    "SSSP": AlgorithmicProperties(
-        "SSSP", Traversal.STATIC, Control.SOURCE, Information.SOURCE
-    ),
-    "MIS": AlgorithmicProperties(
-        "MIS", Traversal.STATIC, Control.SYMMETRIC, Information.SYMMETRIC
-    ),
-    "CLR": AlgorithmicProperties(
-        "CLR", Traversal.STATIC, Control.SYMMETRIC, Information.TARGET
-    ),
-    "BC": AlgorithmicProperties(
-        "BC", Traversal.STATIC, Control.SOURCE, Information.SYMMETRIC
-    ),
-    "CC": AlgorithmicProperties(
-        "CC", Traversal.DYNAMIC, Control.NOT_APPLICABLE,
-        Information.NOT_APPLICABLE
-    ),
-}
+def _from_registry() -> dict[str, AlgorithmicProperties]:
+    """Build the Table III rows from the kernel classes' declarations."""
+    return {
+        app: AlgorithmicProperties(
+            app,
+            Traversal(cls.traversal),
+            Control(cls.control),
+            Information(cls.information),
+        )
+        for app, cls in KERNELS.items()
+    }
+
+
+APP_PROPERTIES: dict[str, AlgorithmicProperties] = _from_registry()
 
 APP_KEYS: tuple[str, ...] = tuple(APP_PROPERTIES)

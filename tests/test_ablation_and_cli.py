@@ -95,7 +95,11 @@ class TestCLI:
         assert "SDR" in capsys.readouterr().out
 
     def test_predict_rejects_unknown_app(self, capsys):
-        assert main(["predict", "RAJ", "BFS"]) == 2
+        assert main(["predict", "RAJ", "APSP"]) == 2
+
+    def test_predict_covers_new_workloads(self, capsys):
+        assert main(["predict", "RAJ", "BFS"]) == 0
+        assert "recommended configuration" in capsys.readouterr().out
 
     def test_run_command_with_config_subset(self, capsys):
         assert main(["run", "DCT", "SSSP", "--configs", "TG0,SGR",

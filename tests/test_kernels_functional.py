@@ -18,13 +18,14 @@ from tests.conftest import to_networkx
 
 class TestRegistry:
     def test_all_apps_constructible(self, sym_triangle):
-        for app in ("PR", "SSSP", "MIS", "CLR", "BC", "CC"):
+        for app in ("PR", "SSSP", "MIS", "CLR", "BC", "CC",
+                    "BFS", "KC", "TC", "LP"):
             kernel = make_kernel(app, sym_triangle)
             assert kernel.app == app
 
     def test_unknown_rejected(self, sym_triangle):
         with pytest.raises(KeyError, match="unknown application"):
-            make_kernel("BFS", sym_triangle)
+            make_kernel("APSP", sym_triangle)
 
     def test_traversal_types(self, sym_triangle):
         assert make_kernel("PR", sym_triangle).traversal == "static"

@@ -108,7 +108,7 @@ class TestSpecs:
     def test_spec_validation(self):
         ref = GraphRef.dataset("DCT", scale=64)
         with pytest.raises(ValueError, match="unknown application"):
-            WorkloadSpec.for_workload("BFS", ref)
+            WorkloadSpec.for_workload("APSP", ref)
         with pytest.raises(ValueError, match="baseline"):
             WorkloadSpec(app="PR", graph=ref, configs=("TG0",),
                          baseline="SGR")

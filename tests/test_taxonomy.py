@@ -215,7 +215,7 @@ class TestProfile:
 
     def test_unknown_app_rejected(self, small_random):
         with pytest.raises(KeyError, match="unknown application"):
-            profile_workload(profile_graph(small_random), "BFS")
+            profile_workload(profile_graph(small_random), "APSP")
 
     def test_as_row_has_table2_columns(self, small_random):
         row = profile_graph(small_random).as_row()
