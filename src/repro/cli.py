@@ -8,6 +8,7 @@ predict GRAPH APP     model prediction + decision-tree walkthrough
 run GRAPH APP         simulate the Figure 5 configurations for a workload
 sweep                 the full sweep: six graphs x the registered
                       applications (slow)
+worker QUEUE_DIR      join a multi-node sweep as one worker node
 
 ``GRAPH`` is one of AMZ DCT EML OLS RAJ WNG (built at its simulation
 scale) or a path to a Matrix Market file (profiled against the full-size
@@ -34,7 +35,16 @@ Execution is fault tolerant: failing workloads are retried
 with the failed workloads reported separately (exit status 1);
 ``--fail-fast`` aborts on the first workload that exhausts its retries.
 ``--manifest PATH`` journals every outcome to a JSON-lines file as it
-happens, so an interrupted sweep resumes from cache + manifest.
+happens, so an interrupted sweep resumes from cache + manifest —
+``sweep --resume MANIFEST`` wires that up in one flag and reports how
+much of the sweep is already banked before re-running the rest.
+
+``sweep --backend multinode`` runs the sweep across ``--nodes N``
+supervised worker processes coordinated through a crash-safe filesystem
+work queue (``--queue-dir DIR`` to place it somewhere shared and
+inspectable).  Additional nodes — on this machine or any machine
+mounting the same filesystem — join with ``repro worker QUEUE_DIR``;
+a node killed mid-unit costs one lease reclaim, never the sweep.
 """
 
 from __future__ import annotations
@@ -50,6 +60,8 @@ from .graph.generators import attach_random_weights
 from .harness import render_breakdown_bars, render_table
 from .model import explain_prediction, predict_configuration
 from .runtime import (
+    BACKENDS,
+    DEFAULT_LEASE_TTL,
     GraphRef,
     ResultCache,
     RetryPolicy,
@@ -297,20 +309,52 @@ def _gap_cell(row) -> str:
     return f"no ({gap:.2f}x)"
 
 
+def _report_resume(args, graphs, apps) -> None:
+    """Wire ``--resume MANIFEST`` and report what the sweep still owes.
+
+    Resuming is manifest + cache + plan subset: the manifest names what
+    completed, the cache restores those results without simulation, and
+    :meth:`ExecutionPlan.remaining` is the authoritative list of units
+    left to run — printed here so an operator sees the resume actually
+    engaging before the first (slow) unit starts.
+    """
+    from .runtime import ExecutionPlan, RunManifest
+
+    if args.no_cache:
+        raise SystemExit("--resume restores completed units from the "
+                         "result cache; drop --no-cache")
+    args.manifest = args.resume
+    manifest = RunManifest(args.resume)
+    plan = ExecutionPlan.for_sweep(graphs, apps, max_iters=args.iters)
+    remaining = plan.remaining(manifest)
+    print(f"resuming from {args.resume}: {len(plan) - len(remaining)} of "
+          f"{len(plan)} unit(s) already complete, {len(remaining)} to go"
+          + (f" ({manifest.torn_lines} torn manifest line(s) skipped)"
+             if manifest.torn_lines else ""))
+
+
 def _cmd_sweep(args) -> int:
     from .harness import APPS, GRAPHS, flexibility_stats, format_pct, \
         run_sweep
 
+    graphs = _split_choices(args.graphs, GRAPHS, "graph") or GRAPHS
+    apps = _split_choices(args.apps, APPS, "app") or APPS
+    if args.resume:
+        _report_resume(args, graphs, apps)
     profiling = _start_profile(args)
     observer = _start_obs(args)
     try:
         sweep = run_sweep(
-            graphs=_split_choices(args.graphs, GRAPHS, "graph") or GRAPHS,
-            apps=_split_choices(args.apps, APPS, "app") or APPS,
+            graphs=graphs,
+            apps=apps,
             max_iters=args.iters,
             jobs=1 if profiling else args.jobs,
             cache=None if profiling else _resolve_cache(args),
             progress=lambda label: print(f"  {label}", flush=True),
+            backend="auto" if profiling else args.backend,
+            nodes=args.nodes,
+            queue_dir=args.queue_dir,
+            lease_ttl=args.lease_ttl,
             **_fault_kwargs(args),
         )
     except UnitExecutionError as exc:
@@ -339,6 +383,24 @@ def _cmd_sweep(args) -> int:
         return 1
     if profiling:
         _finish_profile()
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    import os
+
+    from .runtime.worker import worker_config, worker_main
+
+    node = args.node or f"worker-{os.getpid()}"
+    config = worker_config(
+        args.queue_dir, node,
+        lease_ttl=args.lease_ttl,
+        policy=_resolve_policy(args),
+        poll=args.poll,
+        events=args.events,
+    )
+    processed = worker_main(config)
+    print(f"{node}: processed {processed} unit(s); queue drained")
     return 0
 
 
@@ -430,6 +492,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--apps", default=None, metavar="APPS",
                          help="comma-separated applications to sweep "
                               "(default: every registered kernel)")
+    p_sweep.add_argument("--backend", default="auto",
+                         choices=list(BACKENDS),
+                         help="execution backend (default auto: serial "
+                              "when --jobs 1, else a process pool; "
+                              "multinode runs a coordinated worker fleet "
+                              "over a filesystem work queue)")
+    p_sweep.add_argument("--nodes", type=int, default=2, metavar="N",
+                         help="worker nodes for --backend multinode "
+                              "(default 2)")
+    p_sweep.add_argument("--queue-dir", default=None, metavar="DIR",
+                         help="work-queue directory for multinode sweeps "
+                              "(default: private temp dir; name one so "
+                              "'repro worker' nodes can join and "
+                              "interrupted queues survive)")
+    p_sweep.add_argument("--lease-ttl", type=float, default=None,
+                         metavar="SECONDS",
+                         help="multinode lease time-to-live before a "
+                              "stalled node's unit is stolen "
+                              f"(default {DEFAULT_LEASE_TTL:g})")
+    p_sweep.add_argument("--resume", default=None, metavar="MANIFEST",
+                         help="resume an interrupted sweep from its "
+                              "manifest journal: completed units restore "
+                              "from the result cache, the rest re-run, "
+                              "and the journal keeps growing in place")
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="join a multinode sweep as one worker node")
+    p_worker.add_argument("queue_dir",
+                          help="the sweep's work-queue directory "
+                               "(the coordinator's --queue-dir)")
+    p_worker.add_argument("--node", default=None, metavar="NAME",
+                          help="node name for leases/manifests/events "
+                               "(default worker-<pid>)")
+    p_worker.add_argument("--lease-ttl", type=float,
+                          default=DEFAULT_LEASE_TTL, metavar="SECONDS",
+                          help="lease time-to-live this node claims with "
+                               f"(default {DEFAULT_LEASE_TTL:g})")
+    p_worker.add_argument("--poll", type=float, default=0.05,
+                          metavar="SECONDS",
+                          help="idle sleep between claim scans "
+                               "(default 0.05)")
+    p_worker.add_argument("--retries", type=int, default=None, metavar="N",
+                          help="attempts per workload (default 3)")
+    p_worker.add_argument("--timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="per-workload wall-clock limit "
+                               "(default: none)")
+    p_worker.add_argument("--events", action="store_true",
+                          help="journal this node's runtime events to "
+                               "events/<node>.jsonl inside the queue")
     return parser
 
 
@@ -439,6 +552,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "run": _cmd_run,
     "sweep": _cmd_sweep,
+    "worker": _cmd_worker,
 }
 
 

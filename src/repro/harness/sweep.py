@@ -29,6 +29,7 @@ from ..runtime import (
     RunManifest,
     UnitFailure,
     load_graph,
+    make_backend,
     run_plan,
 )
 from ..sim.config import DEFAULT_SYSTEM, SystemConfig
@@ -189,6 +190,10 @@ def run_sweep(
     injector: FaultInjector | None = None,
     keep_going: bool = True,
     manifest: RunManifest | str | Path | None = None,
+    backend: str = "auto",
+    nodes: int = 2,
+    queue_dir: str | Path | None = None,
+    lease_ttl: float | None = None,
 ) -> SweepResult:
     """Run the full evaluation sweep.
 
@@ -210,6 +215,13 @@ def run_sweep(
     failure.  ``manifest`` journals outcomes incrementally so an
     interrupted sweep resumes from cache + manifest, re-simulating only
     what is missing or failed.
+
+    ``backend`` selects the execution strategy by name (see
+    :func:`repro.runtime.make_backend`): ``auto`` keeps the historical
+    jobs-based choice, ``multinode`` fans units across ``nodes``
+    supervised worker processes over a crash-safe work queue (rooted at
+    ``queue_dir`` when given, so external ``repro worker`` nodes can
+    join and interrupted queues can be resumed).
     """
     graphs = tuple(graphs)
     apps = tuple(apps)
@@ -226,10 +238,19 @@ def run_sweep(
     _obs.emit("sweep.phase", name="plan", boundary="end")
 
     _obs.emit("sweep.phase", name="execute", boundary="begin")
+    executor = None
+    if backend != "auto":
+        backend_kwargs = {}
+        if lease_ttl is not None:
+            backend_kwargs["lease_ttl"] = lease_ttl
+        executor = make_backend(
+            backend, jobs=jobs, nodes=nodes, policy=policy,
+            injector=injector, queue_dir=queue_dir, **backend_kwargs)
     workloads = run_plan(
         plan,
         jobs=jobs,
         cache=_resolve_cache(cache),
+        executor=executor,
         progress=progress,
         policy=policy,
         injector=injector,

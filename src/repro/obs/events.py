@@ -36,6 +36,23 @@ EVENT_KINDS = (
     "worker.crash",       # digest, label, attempt
     "pool.recycle",       # reason ('hang' | 'crash' | 'submit'), requeued
     "pool.probation",     # digest, label
+    # Multi-node backend: node membership.
+    "node.join",          # node, pid, restarts (0 on first join)
+    "node.leave",         # node, reason ('drained'|'crash'|'quarantined'
+                          #               |'stopped'), pid
+    # Multi-node backend: lease protocol over the work queue.
+    "lease.claim",        # digest, label, node, attempt
+    "lease.renew",        # digest, node
+    "lease.expire",       # digest, node (late owner), reason
+                          #   ('ttl' | 'node-death')
+    "lease.steal",        # digest, label, node (new owner), from_node,
+                          #   attempt
+    "lease.release",      # digest, node
+    "unit.duplicate",     # digest, node (the loser of a completion race)
+    # Multi-node backend: queue lifecycle and manifest consolidation.
+    "queue.seeded",       # units, skipped (already done on re-seed)
+    "queue.drained",      # units
+    "manifest.merge",     # sources, entries, torn
     # Result cache.
     "cache.hit",          # digest, label
     "cache.miss",         # digest, label

@@ -13,9 +13,19 @@ Execution is fault tolerant: failing units retry under a
 (``keep_going``), every outcome can be journaled to a
 :class:`RunManifest` for resumable sweeps, and a deterministic
 :class:`FaultInjector` exercises each recovery path in tests.
+
+Fault tolerance extends past the process: :func:`make_backend` selects
+among serial, process-pool, and *multi-node* execution, where a
+:class:`MultiNodeExecutor` coordinates a fleet of worker nodes over a
+crash-safe filesystem :class:`WorkQueue` (atomic leases with heartbeat
+TTLs, work stealing, exclusive completion markers) publishing into a
+:class:`ShardedResultCache` — so a SIGKILLed node costs one lease
+reclaim, never a sweep.
 """
 
-from .cache import ResultCache, default_cache_dir
+from .backend import BACKENDS, make_backend
+from .cache import ResultCache, ShardedResultCache, default_cache_dir
+from .coordinator import MultiNodeExecutor
 from .executor import (
     Executor,
     ParallelExecutor,
@@ -45,6 +55,8 @@ from .spec import (
     GraphRef,
     WorkloadSpec,
 )
+from .worker import NodeWorker, worker_main
+from .workqueue import DEFAULT_LEASE_TTL, WorkQueue
 
 __all__ = [
     "RESULT_SCHEMA_VERSION",
@@ -54,12 +66,20 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "MultiNodeExecutor",
+    "BACKENDS",
+    "make_backend",
+    "NodeWorker",
+    "worker_main",
+    "WorkQueue",
+    "DEFAULT_LEASE_TTL",
     "make_executor",
     "execute_spec",
     "run_unit",
     "load_graph",
     "run_plan",
     "ResultCache",
+    "ShardedResultCache",
     "default_cache_dir",
     "RetryPolicy",
     "RunManifest",

@@ -8,6 +8,10 @@ seed, system parameters, iteration cap, ...) or to the result schema
 misses cleanly.  Each entry is one human-inspectable JSON file holding
 the spec alongside the result, written atomically (tmp + rename) so a
 killed sweep never leaves a truncated entry behind.
+
+:class:`ShardedResultCache` keeps the same protocol but spreads entries
+across digest-prefix subdirectories — the layout the multi-node backend
+uses so a fleet of workers never contends on one directory.
 """
 
 from __future__ import annotations
@@ -21,7 +25,7 @@ from ..harness.runner import WorkloadResult
 from ..obs import OBSERVER as _obs
 from .spec import WorkloadSpec
 
-__all__ = ["ResultCache", "default_cache_dir"]
+__all__ = ["ResultCache", "ShardedResultCache", "default_cache_dir"]
 
 
 def default_cache_dir() -> Path:
@@ -43,9 +47,14 @@ class ResultCache:
         self.stores = 0
         self.corrupt = 0
 
+    def entry_path(self, digest: str) -> Path:
+        """The entry file a digest addresses (the layout hook subclasses
+        override; everything else goes through here)."""
+        return self.directory / f"{digest}.json"
+
     def path_for(self, spec: WorkloadSpec) -> Path:
         """The entry file a spec addresses."""
-        return self.directory / f"{spec.digest()}.json"
+        return self.entry_path(spec.digest())
 
     def get(self, spec: WorkloadSpec) -> WorkloadResult | None:
         """The cached result for ``spec``, or None.
@@ -59,7 +68,7 @@ class ResultCache:
         from .spec import RESULT_SCHEMA_VERSION
 
         digest = spec.digest()
-        path = self.directory / f"{digest}.json"
+        path = self.entry_path(digest)
         try:
             payload = json.loads(path.read_text())
             if payload.get("schema") != RESULT_SCHEMA_VERSION:
@@ -119,11 +128,15 @@ class ResultCache:
             _obs.metrics.counter("cache.stores").inc()
         return path
 
+    #: Glob (relative to ``directory``) matching every entry file.
+    _ENTRY_GLOB = "*.json"
+    _TMP_GLOB = "*.tmp"
+
     def __len__(self) -> int:
         """Number of entries currently on disk."""
         if not self.directory.is_dir():
             return 0
-        return sum(1 for _ in self.directory.glob("*.json"))
+        return sum(1 for _ in self.directory.glob(self._ENTRY_GLOB))
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed.
@@ -134,9 +147,45 @@ class ResultCache:
         """
         removed = 0
         if self.directory.is_dir():
-            for entry in self.directory.glob("*.json"):
+            for entry in self.directory.glob(self._ENTRY_GLOB):
                 entry.unlink(missing_ok=True)
                 removed += 1
-            for stray in self.directory.glob("*.tmp"):
+            for stray in self.directory.glob(self._TMP_GLOB):
                 stray.unlink(missing_ok=True)
         return removed
+
+
+class ShardedResultCache(ResultCache):
+    """A result cache sharded into subdirectories by digest prefix.
+
+    Entries live at ``directory/<digest[:prefix_len]>/<digest>.json``.
+    Sharding is the fleet-facing layout: N nodes hammering one flat
+    directory serialize on its dentry lock and make every listing O(all
+    entries), while 256 prefix shards spread both the lock and the
+    listings.  Digests are SHA-256 hex, so entries spread uniformly by
+    construction.  The atomic tmp+rename write protocol is inherited
+    unchanged — the staging file lands *inside* the shard so the rename
+    never crosses a directory (or filesystem) boundary — and a flat and
+    a sharded cache over the same directory never alias (entries sit at
+    different paths), so the layouts cannot silently mix.
+    """
+
+    _ENTRY_GLOB = "*/*.json"
+    _TMP_GLOB = "*/*.tmp"
+
+    def __init__(self, directory: str | Path | None = None,
+                 prefix_len: int = 2) -> None:
+        if not 1 <= prefix_len <= 8:
+            raise ValueError("prefix_len must be within [1, 8]")
+        super().__init__(directory)
+        self.prefix_len = prefix_len
+
+    def entry_path(self, digest: str) -> Path:
+        return self.directory / digest[: self.prefix_len] / f"{digest}.json"
+
+    def shards(self) -> list[Path]:
+        """The shard directories currently populated, sorted."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(path for path in self.directory.iterdir()
+                      if path.is_dir())

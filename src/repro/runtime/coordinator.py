@@ -1,0 +1,350 @@
+"""The multi-node executor: coordinator, worker fleet, work stealing.
+
+:class:`MultiNodeExecutor` implements the same streaming
+:class:`~repro.runtime.executor.Executor` interface as the serial and
+process-pool executors, so ``run_plan`` and ``run_sweep`` drive it
+unchanged — but underneath, units flow through a crash-safe
+:class:`~repro.runtime.workqueue.WorkQueue` and a fleet of worker
+*processes* that each behave like an independent node: pull-based
+claiming via atomic leases, heartbeat renewal, results published to a
+shared :class:`~repro.runtime.cache.ShardedResultCache`.
+
+The coordinator's job is supervision, not execution:
+
+* watch worker processes; a node that dies (SIGKILL, OOM, injected
+  ``node-kill``) is detected by waitpid, its leases are reclaimed
+  immediately (no TTL wait — the coordinator *saw* it die), and it is
+  restarted under a fresh incarnation name while its restart budget
+  lasts, then quarantined (``node.leave`` reason ``quarantined``).
+* sweep lease heartbeats; a lease whose heartbeat went stale past its
+  TTL (a live-but-stalled node) is expired so another node steals the
+  unit.  Stalled nodes are *not* killed — their late completion loses
+  the exclusive-marker race and is counted as a duplicate.
+* apply the retry/quarantine semantics of PR 2 at the node level:
+  every lease expiry charges the unit the node-level attempt that died,
+  and a unit whose charged attempts reach the policy's budget is
+  quarantined as a ``crash`` :class:`UnitFailure` rather than bouncing
+  between fresh nodes forever.  Because each node runs exactly one unit
+  at a time, blame needs no probation dance: the unit a dead node held
+  *is* the suspect, and its next flight on another node is the solo
+  probe.
+* collect completion markers and stream ``(position, outcome)`` pairs
+  back in completion order, re-hydrating results from the shared cache
+  (content-addressed, so they are bit-identical to a serial run).
+* when the queue drains, merge the per-node manifests into one
+  consolidated journal (``manifest.merge``).
+
+If the whole fleet is ever lost with work still pending — every node
+quarantined, restart budgets spent — the coordinator degrades to
+running the remainder inline (a :class:`NodeWorker` in-process, with
+``node-kill`` rules stripped so the chaos that killed the fleet cannot
+take the coordinator too).  A sweep therefore always terminates with
+every plan slot filled.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from ..harness.runner import WorkloadResult
+from ..obs import OBSERVER as _obs
+from .executor import Executor
+from .faults import FaultInjector, UnitFailure
+from .retry import RetryPolicy
+from .spec import WorkloadSpec
+from .worker import DEFAULT_POLL, NodeWorker, worker_config, worker_main
+from .workqueue import DEFAULT_LEASE_TTL, WorkQueue
+
+__all__ = ["MultiNodeExecutor", "DEFAULT_NODE_RESTARTS"]
+
+#: How many times one node slot is restarted after a crash before the
+#: slot is quarantined (mirrors the retry budget's "give up eventually").
+DEFAULT_NODE_RESTARTS = 2
+
+
+class _NodeSlot:
+    """One supervised node slot: its live process and restart budget."""
+
+    __slots__ = ("base", "name", "process", "restarts", "quarantined")
+
+    def __init__(self, base: str) -> None:
+        self.base = base
+        self.name = base
+        self.process: multiprocessing.process.BaseProcess | None = None
+        self.restarts = 0
+        self.quarantined = False
+
+
+class MultiNodeExecutor(Executor):
+    """Run specs across supervised worker nodes over a shared work queue.
+
+    ``queue_dir`` is the sweep's shared state; None means a private
+    temporary queue that is removed after a clean drain (pass an
+    explicit directory to keep the queue inspectable, resume it later,
+    or let externally launched ``repro worker`` nodes join in).
+    ``policy.max_attempts`` bounds *node-level* attempts per unit (a
+    unit is charged one attempt each time a node dies or stalls while
+    holding its lease) exactly as it bounds in-process retries.
+    """
+
+    def __init__(self, nodes: int = 2,
+                 policy: RetryPolicy | None = None,
+                 injector: FaultInjector | None = None,
+                 queue_dir: str | Path | None = None,
+                 lease_ttl: float = DEFAULT_LEASE_TTL,
+                 poll: float = DEFAULT_POLL,
+                 node_restarts: int = DEFAULT_NODE_RESTARTS) -> None:
+        if nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if node_restarts < 0:
+            raise ValueError("node_restarts must be >= 0")
+        self.nodes = nodes
+        self.policy = policy
+        self.injector = injector
+        self.queue_dir = Path(queue_dir) if queue_dir is not None else None
+        self.lease_ttl = lease_ttl
+        self.poll = poll
+        self.node_restarts = node_restarts
+        #: Stats of the last manifest merge ({"sources", "entries",
+        #: "torn"}), for callers that report on consolidation.
+        self.last_merge: dict | None = None
+
+    # -- fleet management -------------------------------------------------
+
+    def _spawn(self, slot: _NodeSlot, queue: WorkQueue,
+               events: bool) -> None:
+        """Start (or restart) the worker process for ``slot``.
+
+        Restarted incarnations get a distinct node name
+        (``node-0``, ``node-0r1``, ...): leases and manifests are
+        attributed per incarnation, so reclaiming the dead incarnation's
+        leases can never race the live one's.
+        """
+        if slot.restarts:
+            slot.name = f"{slot.base}r{slot.restarts}"
+        config = worker_config(
+            str(queue.directory), slot.name, lease_ttl=queue.lease_ttl,
+            policy=self.policy, injector=self.injector, poll=self.poll,
+            events=events)
+        context = multiprocessing.get_context()
+        process = context.Process(target=worker_main, args=(config,),
+                                  daemon=True, name=f"repro-{slot.name}")
+        process.start()
+        slot.process = process
+        _obs.emit("node.join", node=slot.name, pid=process.pid,
+                  restarts=slot.restarts)
+        if _obs.enabled:
+            _obs.metrics.counter("nodes.joined").inc()
+
+    def _reap(self, slots: list[_NodeSlot], queue: WorkQueue,
+              events: bool) -> list[str]:
+        """Notice dead workers; restart or quarantine their slots.
+
+        Returns the node names whose death was just observed (their
+        leases should be reclaimed without waiting out the TTL).
+        """
+        dead: list[str] = []
+        for slot in slots:
+            process = slot.process
+            if process is None or process.is_alive():
+                continue
+            process.join()
+            exitcode = process.exitcode
+            slot.process = None
+            if exitcode == 0:
+                # Natural exit: the node saw the queue drained.
+                _obs.emit("node.leave", node=slot.name, reason="drained",
+                          pid=process.pid)
+                continue
+            dead.append(slot.name)
+            if slot.restarts < self.node_restarts:
+                _obs.emit("node.leave", node=slot.name, reason="crash",
+                          pid=process.pid)
+                if _obs.enabled:
+                    _obs.metrics.counter("nodes.crashed").inc()
+                slot.restarts += 1
+                self._spawn(slot, queue, events)
+            else:
+                slot.quarantined = True
+                _obs.emit("node.leave", node=slot.name,
+                          reason="quarantined", pid=process.pid)
+                if _obs.enabled:
+                    _obs.metrics.counter("nodes.quarantined").inc()
+        return dead
+
+    @staticmethod
+    def _stop_fleet(slots: list[_NodeSlot], poll: float) -> None:
+        """Wait briefly for natural drain exits, then terminate stragglers."""
+        deadline = time.monotonic() + max(1.0, 20 * poll)
+        for slot in slots:
+            process = slot.process
+            if process is None:
+                continue
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+                _obs.emit("node.leave", node=slot.name, reason="stopped",
+                          pid=process.pid)
+            slot.process = None
+
+    # -- the drive loop ---------------------------------------------------
+
+    def run(
+        self, specs: Sequence[WorkloadSpec]
+    ) -> Iterator[tuple[int, WorkloadResult | UnitFailure]]:
+        policy = self.policy or RetryPolicy()
+        owns_dir = self.queue_dir is None
+        directory = (Path(tempfile.mkdtemp(prefix="repro-queue-"))
+                     if owns_dir else self.queue_dir)
+        queue = WorkQueue(directory, lease_ttl=self.lease_ttl)
+        queue.seed(specs)
+        cache = queue.result_cache()
+        events = _obs.enabled
+
+        # One digest can, in principle, fill several plan slots; every
+        # slot gets the (single) outcome for that digest.
+        pending: dict[str, list[int]] = {}
+        for position, spec in enumerate(specs):
+            pending.setdefault(spec.digest(), []).append(position)
+
+        slots = [_NodeSlot(f"node-{index}") for index in range(self.nodes)]
+        clean = False
+        try:
+            for slot in slots:
+                self._spawn(slot, queue, events)
+
+            while pending:
+                progressed = False
+                for digest in list(pending):
+                    outcome = self._collect(queue, specs, pending, digest,
+                                            cache, policy)
+                    if outcome is None:
+                        continue
+                    progressed = True
+                    for position in pending.pop(digest):
+                        yield position, outcome
+                if not pending:
+                    break
+
+                dead = self._reap(slots, queue, events)
+                expired = queue.reclaim_expired(dead_nodes=dead)
+                for lease in expired:
+                    self._quarantine_if_spent(queue, lease, policy)
+
+                if not any(slot.process is not None for slot in slots):
+                    # The whole fleet is gone (quarantined or exited)
+                    # with work still owed: finish inline so the sweep
+                    # terminates with every slot filled.
+                    self._drain_inline(queue)
+
+                if not progressed:
+                    time.sleep(self.poll)
+
+            _obs.emit("queue.drained", units=len(queue.digests()))
+            self._merge_manifests(queue)
+            clean = True
+        finally:
+            self._stop_fleet(slots, self.poll)
+            if owns_dir and clean:
+                shutil.rmtree(directory, ignore_errors=True)
+
+    def _collect(self, queue: WorkQueue, specs: Sequence[WorkloadSpec],
+                 pending: dict, digest: str, cache,
+                 policy: RetryPolicy) -> WorkloadResult | UnitFailure | None:
+        """Turn ``digest``'s completion marker into an outcome, if any.
+
+        An 'ok' marker whose cache entry is unreadable (torn write that
+        survived a node) is *not* an outcome: the corrupt entry
+        self-heals on read, the unit is reopened with the torn attempt
+        charged, and another node redoes the work.
+        """
+        record = queue.outcome(digest)
+        if record is None:
+            return None
+        if record["status"] == "ok":
+            spec = specs[pending[digest][0]]
+            result = cache.get(spec)
+            if result is None:
+                attempt = int(record.get("attempt", 1))
+                queue.requeue(digest, charge_attempt=attempt)
+                _obs.emit("unit.retried", digest=digest, label=spec.label,
+                          attempt=attempt + 1, cause="torn-result")
+                return None
+            return result
+        return UnitFailure.from_dict(record["failure"])
+
+    def _quarantine_if_spent(self, queue: WorkQueue, lease: dict,
+                             policy: RetryPolicy) -> None:
+        """Fail a unit whose node-level attempts are exhausted.
+
+        ``lease`` is an expired lease; its ``attempt`` was just charged
+        to the unit.  Once charges reach the policy budget the
+        coordinator publishes a terminal ``crash`` failure itself —
+        otherwise a unit that kills every node it lands on would cycle
+        through fresh incarnations forever.
+        """
+        digest = lease["digest"]
+        attempt = int(lease.get("attempt", 1))
+        if attempt < policy.max_attempts:
+            return
+        if queue.outcome(digest) is not None:
+            return
+        spec = queue.spec_for(digest)
+        failure = UnitFailure(
+            digest=digest, label=spec.label, kind="crash",
+            attempts=attempt, exception="NodeDeath",
+            message=(f"node {lease.get('node')} lost the unit "
+                     f"({lease.get('reason')}) on attempt {attempt}; "
+                     f"node-level retry budget exhausted"),
+            quarantined=True)
+        if queue.complete(digest, "coordinator", "failed", attempt,
+                          label=spec.label, failure=failure.to_dict()):
+            _obs.emit("unit.quarantined", digest=digest, label=spec.label,
+                      attempts=attempt)
+            if _obs.enabled:
+                _obs.metrics.counter("units.quarantined").inc()
+
+    def _drain_inline(self, queue: WorkQueue) -> None:
+        """Last-resort: run the remaining units in the coordinator.
+
+        Node-kill rules are stripped from the injector — the fleet may
+        have died to them, and the coordinator must survive to fill the
+        plan.  Stale leases from dead incarnations are reclaimed as
+        they are met, so the inline worker cannot deadlock on them.
+        """
+        injector = self.injector
+        if injector is not None:
+            rules = tuple(rule for rule in injector.rules
+                          if rule.kind != "node-kill")
+            injector = FaultInjector(rules=rules, seed=injector.seed)
+        worker = NodeWorker(queue, "coordinator", policy=self.policy,
+                            injector=injector, poll=self.poll)
+        while True:
+            status = worker.step()
+            if status == "drained":
+                return
+            if status == "idle":
+                # Everything left is leased by dead nodes; expire by
+                # observed death rather than waiting out TTLs.
+                stale = [lease["node"] for lease in map(
+                    queue.lease, queue.digests()) if lease is not None]
+                if not stale:
+                    return
+                for lease in queue.reclaim_expired(dead_nodes=stale):
+                    self._quarantine_if_spent(
+                        queue, lease, self.policy or RetryPolicy())
+
+    def _merge_manifests(self, queue: WorkQueue) -> None:
+        """Consolidate per-node manifests into ``<queue>/manifest.jsonl``."""
+        from .manifest import RunManifest
+
+        merged = RunManifest(queue.directory / "manifest.jsonl")
+        stats = merged.merge_from(queue.node_manifests())
+        self.last_merge = stats
+        _obs.emit("manifest.merge", **stats)

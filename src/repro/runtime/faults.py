@@ -14,12 +14,23 @@ Two halves:
   pure function of (seed, spec digest, attempt, rule), so the same
   faults fire on both sides of a process boundary and on every re-run,
   letting tests exercise each recovery path reproducibly.
+
+  Beyond the process-level kinds, the injector speaks the *node-level*
+  failure vocabulary of the multi-node backend: ``node-kill`` SIGKILLs
+  the worker process mid-unit (a whole node dying, not a pool child),
+  ``heartbeat-stall`` freezes a worker's lease renewal so its lease
+  expires under it, ``torn-cache-write`` tears the result file a worker
+  just stored (a non-atomic write caught mid-flight), and
+  ``duplicate-claim`` makes a worker claim over a live lease (the
+  lease-race double-execution case).  Each hook keys on the *node-level*
+  attempt carried by the work queue, so chaos runs replay identically.
 """
 
 from __future__ import annotations
 
 import fnmatch
 import os
+import signal
 import time
 import traceback as _traceback
 from concurrent.futures.process import BrokenProcessPool
@@ -135,7 +146,12 @@ class UnitExecutionError(RuntimeError):
         self.failure = failure
 
 
-_FAULT_KINDS = ("crash", "timeout", "transient", "corrupt-cache")
+#: Process-level kinds fire inside ``before_execute``; node-level kinds
+#: fire in the multi-node worker's dedicated hooks.
+_EXEC_KINDS = ("crash", "timeout", "transient")
+_NODE_KINDS = ("node-kill", "heartbeat-stall", "torn-cache-write",
+               "duplicate-claim")
+_FAULT_KINDS = _EXEC_KINDS + ("corrupt-cache",) + _NODE_KINDS
 
 
 @dataclass(frozen=True)
@@ -191,10 +207,23 @@ class FaultInjector:
 
     def select(self, spec: WorkloadSpec,
                attempt: int) -> FaultRule | None:
-        """The first execution fault that fires for (spec, attempt)."""
+        """The first execution fault that fires for (spec, attempt).
+
+        Only process-level kinds (crash/timeout/transient) are
+        execution faults; cache and node-level rules have their own
+        hooks and must not leak into ``before_execute``.
+        """
         for rule in self.rules:
-            if rule.kind != "corrupt-cache" and self._fires(
+            if rule.kind in _EXEC_KINDS and self._fires(
                     rule, spec, attempt):
+                return rule
+        return None
+
+    def _node_rule(self, kind: str, spec: WorkloadSpec,
+                   attempt: int) -> FaultRule | None:
+        """The first rule of node-level ``kind`` firing for (spec, attempt)."""
+        for rule in self.rules:
+            if rule.kind == kind and self._fires(rule, spec, attempt):
                 return rule
         return None
 
@@ -223,6 +252,53 @@ class FaultInjector:
         raise InjectedTransientError(
             f"injected transient fault for {spec.label} "
             f"(attempt {attempt})")
+
+    def maybe_kill_node(self, spec: WorkloadSpec, attempt: int) -> None:
+        """SIGKILL this worker process mid-unit if a node-kill rule fires.
+
+        A real ``SIGKILL`` — not ``os._exit`` — so the node dies the way
+        an OOM-killed or fenced machine does: no atexit hooks, no
+        flushes, lease left dangling, manifest possibly torn mid-line.
+        ``attempt`` is the node-level attempt from the work queue, so a
+        single-shot rule kills the first claim and lets the steal
+        succeed.
+        """
+        if self._node_rule("node-kill", spec, attempt) is not None:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def heartbeat_stall(self, spec: WorkloadSpec, attempt: int) -> float:
+        """Seconds this unit's heartbeat should freeze (0.0 = healthy).
+
+        The worker suspends lease renewal for that long before
+        executing, guaranteeing the coordinator sees an expired lease
+        and steals the unit while the stalled node is still alive — the
+        double-execution path that exclusive completion markers must
+        absorb.
+        """
+        rule = self._node_rule("heartbeat-stall", spec, attempt)
+        return rule.hang if rule is not None else 0.0
+
+    def duplicate_claim(self, spec: WorkloadSpec, attempt: int) -> bool:
+        """Whether this worker should claim over a live foreign lease."""
+        return self._node_rule("duplicate-claim", spec, attempt) is not None
+
+    def tear_cache_entry(self, path: str | Path, spec: WorkloadSpec,
+                         attempt: int = 1) -> bool:
+        """Truncate the just-written result entry mid-file, if a rule fires.
+
+        Models a torn (non-atomic) write surviving on disk: unlike
+        ``corrupt-cache`` garbage this is a *prefix* of a valid entry,
+        the shape a crash mid-``write`` leaves when a filesystem lacks
+        the rename barrier.  Readers must treat it as a miss and
+        self-heal.
+        """
+        rule = self._node_rule("torn-cache-write", spec, attempt)
+        if rule is None:
+            return False
+        path = Path(path)
+        content = path.read_text()
+        path.write_text(content[: max(1, len(content) // 2)])
+        return True
 
     def corrupt_cache_entry(self, path: str | Path,
                             spec: WorkloadSpec) -> bool:

@@ -9,15 +9,29 @@ still need simulating.
 
 Records are append-only: a digest may appear multiple times across
 re-runs, and the *latest* record wins.  A torn final line (the process
-died mid-write) is skipped on read rather than poisoning the journal.
+died — or was SIGKILLed — mid-append) is **skipped and counted** on
+read rather than poisoning the journal: ``entries()`` refreshes
+``torn_lines`` with how many unparseable lines the last read stepped
+over, the same degrade-don't-raise contract as
+:class:`~repro.obs.sinks.JsonlSink` on the write side.  Counting
+matters for fleets — a nonzero ``torn_lines`` on a node manifest is
+the fingerprint of a worker killed mid-record, which
+:meth:`merge_from` surfaces in its merge stats instead of silently
+swallowing.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
+from typing import Iterable
 
 __all__ = ["RunManifest"]
+
+#: Journal statuses: 'ok' (simulated), 'cached' (restored without
+#: simulation), 'failed' (retry budget exhausted).
+_STATUSES = ("ok", "cached", "failed")
 
 
 class RunManifest:
@@ -25,6 +39,10 @@ class RunManifest:
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path).expanduser()
+        #: Unparseable lines skipped by the most recent read (torn final
+        #: line from a crash mid-append, or bit rot).  Refreshed by
+        #: ``entries()``; 0 until something has been read.
+        self.torn_lines = 0
 
     def record(
         self,
@@ -34,9 +52,14 @@ class RunManifest:
         attempts: int = 1,
         kind: str | None = None,
         message: str | None = None,
+        node: str | None = None,
     ) -> None:
-        """Append one outcome (``status`` in 'ok' | 'cached' | 'failed')."""
-        if status not in ("ok", "cached", "failed"):
+        """Append one outcome (``status`` in 'ok' | 'cached' | 'failed').
+
+        ``node`` names the worker node that produced the outcome in
+        multi-node runs; single-process runs leave it unset.
+        """
+        if status not in _STATUSES:
             raise ValueError(f"unknown manifest status {status!r}")
         entry: dict = {
             "digest": digest,
@@ -48,13 +71,24 @@ class RunManifest:
             entry["kind"] = kind
         if message is not None:
             entry["message"] = message
+        if node is not None:
+            entry["node"] = node
+        self.record_entry(entry)
+
+    def record_entry(self, entry: dict) -> None:
+        """Append one pre-built record (the merge path; minimal checks)."""
+        if entry.get("status") not in _STATUSES:
+            raise ValueError(f"unknown manifest status {entry.get('status')!r}")
+        if "digest" not in entry:
+            raise ValueError("manifest entry needs a digest")
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps(entry) + "\n")
             handle.flush()
 
     def entries(self) -> list[dict]:
-        """All records in append order, skipping torn/corrupt lines."""
+        """All records in append order, skipping *and counting* torn lines."""
+        self.torn_lines = 0
         if not self.path.exists():
             return []
         records = []
@@ -65,9 +99,12 @@ class RunManifest:
             try:
                 record = json.loads(line)
             except ValueError:
+                self.torn_lines += 1
                 continue
             if isinstance(record, dict) and "digest" in record:
                 records.append(record)
+            else:
+                self.torn_lines += 1
         return records
 
     def latest(self) -> dict[str, dict]:
@@ -81,6 +118,37 @@ class RunManifest:
         """Digests whose latest recorded outcome is a failure."""
         return {digest for digest, record in self.latest().items()
                 if record.get("status") == "failed"}
+
+    def completed_digests(self) -> set[str]:
+        """Digests whose latest recorded outcome is ok or cached."""
+        return {digest for digest, record in self.latest().items()
+                if record.get("status") in ("ok", "cached")}
+
+    def merge_from(
+        self, sources: Iterable["RunManifest | str | os.PathLike"],
+    ) -> dict:
+        """Append every record from ``sources`` (per-node manifests).
+
+        The coordinator calls this once a multi-node run drains, folding
+        each node's journal — including its torn tail, if the node was
+        killed mid-append — into one merged account.  Source records
+        keep all their fields (``node`` provenance included).  Returns
+        merge stats: ``sources``, ``entries``, ``torn`` (total torn
+        lines skipped across the sources) — the payload of the
+        ``manifest.merge`` event the caller emits.
+        """
+        merged = 0
+        torn = 0
+        count = 0
+        for source in sources:
+            if not isinstance(source, RunManifest):
+                source = RunManifest(source)
+            count += 1
+            for entry in source.entries():
+                self.record_entry(entry)
+                merged += 1
+            torn += source.torn_lines
+        return {"sources": count, "entries": merged, "torn": torn}
 
     def __len__(self) -> int:
         return len(self.entries())

@@ -52,12 +52,22 @@ class RetryPolicy:
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError("timeout must be positive (or None)")
 
-    def delay_for(self, failed_attempt: int, key: str = "") -> float:
+    def delay_for(self, failed_attempt: int, key: str) -> float:
         """Seconds to back off after ``failed_attempt`` (1-based) failed.
 
         Exponential in the attempt number, capped at ``max_delay``, then
         spread by ±``jitter`` using a stable hash of ``(key, attempt)``
         so concurrent retries de-synchronize without nondeterminism.
+
+        ``key`` is required and callers pass the spec digest: jitter
+        seeded per ``(digest, attempt)`` gives every unit its own
+        schedule that is *identical on every node*, so a fleet retrying
+        the same sweep neither thunders in lockstep (distinct digests
+        spread out) nor drifts between runs (re-running a digest
+        replays its exact backoff).  A process-seeded default key would
+        collide every unit retried by one process onto one schedule and
+        desynchronize schedules *across* nodes — the opposite of both
+        guarantees.
         """
         raw = min(self.base_delay * self.backoff ** (failed_attempt - 1),
                   self.max_delay)

@@ -287,3 +287,17 @@ class ExecutionPlan:
         wanted = set(digests)
         return ExecutionPlan(units=tuple(
             unit for unit in self.units if unit.digest() in wanted))
+
+    def remaining(self, manifest) -> "ExecutionPlan":
+        """The sub-plan a manifest does not record as completed.
+
+        ``manifest`` is a :class:`~repro.runtime.manifest.RunManifest`
+        (or anything with ``completed_digests()``); units whose latest
+        journaled status is ``ok`` or ``cached`` are dropped, leaving
+        exactly what an interrupted sweep still owes — never-started
+        units and units whose last attempt failed.
+        """
+        completed = manifest.completed_digests()
+        return ExecutionPlan(units=tuple(
+            unit for unit in self.units
+            if unit.digest() not in completed))

@@ -1,0 +1,206 @@
+"""Pull-based worker nodes for the multi-node backend.
+
+A :class:`NodeWorker` is one node's whole behaviour: claim a unit from
+the :class:`~repro.runtime.workqueue.WorkQueue` (atomic lease), renew
+the lease's heartbeat on a background thread while simulating, publish
+the result to the shared sharded cache (atomic tmp+rename), journal the
+outcome to the node's own manifest, and mark the unit done with an
+exclusive completion marker.  Process-level fault tolerance is the
+existing :func:`~repro.runtime.executor.run_unit` — retries, backoff
+(jitter seeded per (digest, attempt), so schedules are identical across
+nodes), structured :class:`UnitFailure` records — and the node level is
+layered on top: a worker that dies mid-unit leaves a lease the
+coordinator reclaims, and a worker that finishes a unit someone already
+stole simply loses the completion race.
+
+The worker is deliberately runnable three ways with the same code
+path: spawned by the coordinator (``multiprocessing``), launched by a
+human via ``repro worker QUEUE_DIR`` on any machine sharing the queue's
+filesystem, or stepped inline by tests (``NodeWorker.step``) where a
+SIGKILL would be unwelcome.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+
+from ..obs import OBSERVER as _obs
+from .executor import run_unit
+from .faults import FaultInjector, UnitFailure
+from .retry import RetryPolicy
+from .spec import WorkloadSpec
+from .workqueue import DEFAULT_LEASE_TTL, WorkQueue
+
+__all__ = ["NodeWorker", "worker_main", "worker_config"]
+
+#: How long an idle worker sleeps between claim scans.
+DEFAULT_POLL = 0.05
+
+
+class _Heartbeat(threading.Thread):
+    """Renew one lease at TTL/4 until stopped (daemon: dies with the node)."""
+
+    def __init__(self, queue: WorkQueue, digest: str, node: str) -> None:
+        super().__init__(daemon=True, name=f"heartbeat-{digest[:8]}")
+        self._queue = queue
+        self._digest = digest
+        self._node = node
+        self._stopped = threading.Event()
+
+    def run(self) -> None:
+        interval = self._queue.lease_ttl / 4.0
+        while not self._stopped.wait(interval):
+            if not self._queue.renew(self._digest, self._node):
+                # Lease lost (stolen or completed elsewhere): stop
+                # renewing, but let the unit finish — the completion
+                # marker arbitrates who counts.
+                return
+
+    def stop(self) -> None:
+        self._stopped.set()
+
+
+class NodeWorker:
+    """One node's claim-execute-publish loop over a work queue."""
+
+    def __init__(self, queue: WorkQueue, node: str,
+                 policy: RetryPolicy | None = None,
+                 injector: FaultInjector | None = None,
+                 poll: float = DEFAULT_POLL) -> None:
+        self.queue = queue
+        self.node = node
+        self.policy = policy
+        self.injector = injector
+        self.poll = poll
+        self.cache = queue.result_cache()
+        self.manifest = queue.node_manifest(node)
+        self.processed = 0
+
+    def step(self) -> str:
+        """Claim and process one unit.
+
+        Returns ``'ran'`` (a unit was processed), ``'idle'`` (nothing
+        claimable yet — others hold leases), or ``'drained'`` (every
+        unit is done).
+        """
+        claim = self.queue.claim(self.node, injector=self.injector)
+        if claim is None:
+            return "drained" if self.queue.drained() else "idle"
+        spec, attempt = claim
+        self._process(spec, attempt)
+        self.processed += 1
+        return "ran"
+
+    def _process(self, spec: WorkloadSpec, attempt: int) -> None:
+        digest = spec.digest()
+        injector = self.injector
+        heartbeat: _Heartbeat | None = None
+        stall = (injector.heartbeat_stall(spec, attempt)
+                 if injector is not None else 0.0)
+        if stall > 0:
+            # Injected heartbeat stall: no renewals this unit, and the
+            # stall outlives the TTL, so the coordinator will expire the
+            # lease and another node will steal the unit while this one
+            # is still (slowly) working on it.
+            time.sleep(stall)
+        else:
+            heartbeat = _Heartbeat(self.queue, digest, self.node)
+            heartbeat.start()
+        try:
+            # Another node may already have published this digest (a
+            # resumed queue, or the first half of a duplicate claim):
+            # results are content-addressed, so adopt instead of
+            # re-simulating.
+            result = self.cache.get(spec)
+            if result is not None:
+                _obs.emit("unit.cached", digest=digest, label=spec.label)
+                self.manifest.record(digest, spec.label, "cached",
+                                     attempts=attempt, node=self.node)
+                self.queue.complete(digest, self.node, "ok", attempt,
+                                    label=spec.label)
+                return
+            if injector is not None:
+                injector.maybe_kill_node(spec, attempt)  # SIGKILL, maybe
+            outcome = run_unit(spec, policy=self.policy, injector=injector)
+            if isinstance(outcome, UnitFailure):
+                self.manifest.record(
+                    digest, spec.label, "failed",
+                    attempts=outcome.attempts, kind=outcome.kind,
+                    message=outcome.message, node=self.node)
+                self.queue.complete(digest, self.node, "failed", attempt,
+                                    label=spec.label,
+                                    failure=outcome.to_dict())
+                return
+            path = self.cache.put(spec, outcome)
+            if injector is not None:
+                injector.tear_cache_entry(path, spec, attempt)
+                injector.corrupt_cache_entry(path, spec)
+            self.manifest.record(digest, spec.label, "ok",
+                                 attempts=attempt, node=self.node)
+            self.queue.complete(digest, self.node, "ok", attempt,
+                                label=spec.label)
+        finally:
+            if heartbeat is not None:
+                heartbeat.stop()
+
+    def run(self, max_units: int | None = None) -> int:
+        """Pull until the queue drains (or ``max_units`` processed)."""
+        while True:
+            status = self.step()
+            if status == "drained":
+                break
+            if status == "ran":
+                if max_units is not None and self.processed >= max_units:
+                    break
+            else:
+                time.sleep(self.poll)
+        return self.processed
+
+
+def worker_config(queue_dir: str, node: str,
+                  lease_ttl: float = DEFAULT_LEASE_TTL,
+                  policy: RetryPolicy | None = None,
+                  injector: FaultInjector | None = None,
+                  poll: float = DEFAULT_POLL,
+                  events: bool = False) -> dict:
+    """The picklable config :func:`worker_main` consumes.
+
+    Everything a node needs crosses the process (or machine) boundary
+    as plain data — the same property the pool executor's payloads and
+    the fault injector already have.
+    """
+    return {
+        "queue": str(queue_dir),
+        "node": node,
+        "lease_ttl": lease_ttl,
+        "policy": dataclasses.asdict(policy) if policy is not None else None,
+        "injector": injector.to_dict() if injector is not None else None,
+        "poll": poll,
+        "events": events,
+    }
+
+
+def worker_main(config: dict) -> int:
+    """Run one worker node to queue exhaustion; returns units processed.
+
+    The single entry point behind coordinator-spawned processes and the
+    ``repro worker`` CLI.  With ``events`` set, the node journals its
+    own event stream to ``events/<node>.jsonl`` inside the queue
+    directory — node-local observability that the coordinator's merged
+    view picks up by file, not by IPC, so it survives the node.
+    """
+    queue = WorkQueue(config["queue"],
+                      lease_ttl=config.get("lease_ttl", DEFAULT_LEASE_TTL))
+    node = config["node"]
+    if config.get("events"):
+        from .. import obs
+        obs.enable(events=str(queue.node_event_log(node)))
+    policy = (RetryPolicy(**config["policy"])
+              if config.get("policy") else None)
+    injector = (FaultInjector.from_dict(config["injector"])
+                if config.get("injector") else None)
+    worker = NodeWorker(queue, node, policy=policy, injector=injector,
+                        poll=config.get("poll", DEFAULT_POLL))
+    return worker.run(max_units=config.get("max_units"))

@@ -1,0 +1,393 @@
+"""Crash-safe filesystem work queue: leases, heartbeats, work stealing.
+
+One :class:`WorkQueue` directory holds one sweep's distributed state —
+the unit every consumer needs is a plain file, so any number of worker
+processes (on one machine or many, over a shared filesystem) can
+cooperate with no broker, no sockets, and no state that dies with a
+process:
+
+``units/<digest>.json``
+    One record per workload unit, keyed by spec content digest: the
+    serialized :class:`~repro.runtime.spec.WorkloadSpec` plus the
+    node-level attempt count and the last node that held it.
+``leases/<digest>.json``
+    Ownership claims.  A worker claims a unit by *exclusively* creating
+    its lease file (write-to-tmp + ``os.link``, which the filesystem
+    arbitrates atomically — exactly one racer wins), then renews the
+    embedded heartbeat while it works.  A lease whose heartbeat goes
+    stale past its TTL, or whose node is known dead, is reclaimed by
+    the coordinator; the next claim by another node is a *steal*.
+``done/<digest>.json``
+    Exclusive completion markers (same link trick).  Duplicate
+    executions — a stalled worker finishing after its unit was stolen,
+    or an injected lease race — collapse here: the first completion
+    wins, the loser's marker is refused and counted as a duplicate.
+``results/``
+    A :class:`~repro.runtime.cache.ShardedResultCache` all nodes write
+    into (atomic tmp+rename per entry, digest-prefix shards).
+``manifests/<node>.jsonl`` / ``events/<node>.jsonl``
+    Per-node :class:`~repro.runtime.manifest.RunManifest` journals and
+    event logs, merged by the coordinator when the queue drains.
+
+Every transition is content-addressed and idempotent, so the safety
+argument never depends on *at-most-once* execution — only completion
+and result publication are exclusive.  That is what makes worker death
+at any instruction recoverable: the worst a SIGKILL leaves behind is a
+dangling lease (reclaimed by TTL), a staged ``.tmp`` (swept), or a torn
+manifest line (skipped and counted).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..obs import OBSERVER as _obs
+from .cache import ShardedResultCache
+from .manifest import RunManifest
+from .spec import WorkloadSpec
+
+__all__ = ["WorkQueue", "DEFAULT_LEASE_TTL"]
+
+#: Default lease time-to-live in seconds.  Workers renew at TTL/4, so a
+#: healthy node has three missed renewals of slack before it is declared
+#: dead; chaos tests shrink this to keep runs fast.
+DEFAULT_LEASE_TTL = 30.0
+
+
+def _write_json_atomic(path: Path, payload: dict) -> None:
+    """Replace ``path`` with ``payload`` atomically (tmp + rename)."""
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _create_json_exclusive(path: Path, payload: dict) -> bool:
+    """Create ``path`` atomically iff it does not exist.
+
+    Stages the full payload in a tmp file, then ``os.link``s it into
+    place: the link either succeeds (the file appears complete, never
+    torn) or fails with EEXIST (someone else won).  Returns whether this
+    caller won.
+    """
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        try:
+            os.link(tmp, path)
+        except FileExistsError:
+            return False
+        return True
+    finally:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
+def _read_json(path: Path) -> dict | None:
+    """Parse ``path``, or None when absent or unreadable."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+class WorkQueue:
+    """One sweep's distributed work state under a single directory."""
+
+    def __init__(self, directory: str | Path,
+                 lease_ttl: float = DEFAULT_LEASE_TTL) -> None:
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        self.directory = Path(directory).expanduser()
+        self.lease_ttl = lease_ttl
+        self.units_dir = self.directory / "units"
+        self.leases_dir = self.directory / "leases"
+        self.done_dir = self.directory / "done"
+        self.results_dir = self.directory / "results"
+        self.manifests_dir = self.directory / "manifests"
+        self.events_dir = self.directory / "events"
+        for path in (self.units_dir, self.leases_dir, self.done_dir,
+                     self.results_dir, self.manifests_dir, self.events_dir):
+            path.mkdir(parents=True, exist_ok=True)
+
+    # -- shared artifacts -------------------------------------------------
+
+    def result_cache(self) -> ShardedResultCache:
+        """The sharded cache every node publishes results into."""
+        return ShardedResultCache(self.results_dir)
+
+    def node_manifest(self, node: str) -> RunManifest:
+        """The per-node outcome journal."""
+        return RunManifest(self.manifests_dir / f"{node}.jsonl")
+
+    def node_event_log(self, node: str) -> Path:
+        """Where a node's JSONL event sink writes."""
+        return self.events_dir / f"{node}.jsonl"
+
+    def node_manifests(self) -> list[RunManifest]:
+        """Every node manifest present, sorted by node name."""
+        return [RunManifest(path)
+                for path in sorted(self.manifests_dir.glob("*.jsonl"))]
+
+    # -- seeding and inspection ------------------------------------------
+
+    def seed(self, specs: Iterable[WorkloadSpec]) -> dict:
+        """Register units for ``specs`` (idempotent; keyed by digest).
+
+        Re-seeding an existing queue — the resume path — leaves prior
+        unit records, completions, and results untouched, so a restarted
+        sweep only owes what never finished.  Returns ``{"units": new,
+        "skipped": already_present}``.
+        """
+        added = 0
+        skipped = 0
+        for spec in specs:
+            digest = spec.digest()
+            path = self.units_dir / f"{digest}.json"
+            if path.exists():
+                skipped += 1
+                continue
+            _write_json_atomic(path, {
+                "digest": digest,
+                "label": spec.label,
+                "spec": spec.to_dict(),
+                "attempts": 0,
+            })
+            added += 1
+        _obs.emit("queue.seeded", units=added, skipped=skipped)
+        return {"units": added, "skipped": skipped}
+
+    def digests(self) -> list[str]:
+        """Every registered unit digest, sorted (deterministic scan order)."""
+        return sorted(path.stem for path in self.units_dir.glob("*.json"))
+
+    def unit_record(self, digest: str) -> dict | None:
+        return _read_json(self.units_dir / f"{digest}.json")
+
+    def spec_for(self, digest: str) -> WorkloadSpec:
+        record = self.unit_record(digest)
+        if record is None:
+            raise KeyError(f"no unit with digest {digest!r}")
+        return WorkloadSpec.from_dict(record["spec"])
+
+    def lease(self, digest: str) -> dict | None:
+        return _read_json(self.leases_dir / f"{digest}.json")
+
+    def outcome(self, digest: str) -> dict | None:
+        """The completion record for ``digest``, or None while pending."""
+        return _read_json(self.done_dir / f"{digest}.json")
+
+    def done_digests(self) -> set[str]:
+        return {path.stem for path in self.done_dir.glob("*.json")}
+
+    def drained(self) -> bool:
+        """Every registered unit has a completion marker."""
+        done = self.done_digests()
+        return all(digest in done for digest in self.digests())
+
+    # -- the lease protocol ----------------------------------------------
+
+    def claim(self, node: str, injector=None
+              ) -> tuple[WorkloadSpec, int] | None:
+        """Claim one unclaimed, unfinished unit for ``node``.
+
+        Returns ``(spec, node_attempt)`` or None when nothing is
+        claimable (all units done or leased).  Claims are exclusive via
+        atomic lease creation; a unit whose record shows a prior holder
+        is re-claimed as a *steal* (``lease.steal``).  ``injector`` may
+        force a duplicate claim over a live lease — the race the
+        completion markers must absorb.
+        """
+        done = self.done_digests()
+        for digest in self.digests():
+            if digest in done:
+                continue
+            record = self.unit_record(digest)
+            if record is None:  # unlinked under us (concurrent clear)
+                continue
+            spec = WorkloadSpec.from_dict(record["spec"])
+            attempt = int(record.get("attempts", 0)) + 1
+            lease_path = self.leases_dir / f"{digest}.json"
+            payload = {
+                "digest": digest,
+                "node": node,
+                "attempt": attempt,
+                "heartbeat": time.time(),
+                "ttl": self.lease_ttl,
+            }
+            if lease_path.exists():
+                if injector is None or not injector.duplicate_claim(
+                        spec, attempt):
+                    continue
+                # Injected lease race: claim over the live lease the way
+                # a worker with a stale directory listing would.
+                _write_json_atomic(lease_path, payload)
+            elif not _create_json_exclusive(lease_path, payload):
+                continue  # lost a real race; next unit
+            # We hold the lease; re-read the record.  The coordinator
+            # may have charged an expired attempt between our record
+            # read and the lease create (claim/reclaim race), which
+            # would hand this node a stale attempt number — and a
+            # deterministic per-attempt fault rule would re-fire on
+            # the redo forever.
+            current = self.unit_record(digest)
+            if current is not None:
+                record = current
+            fresh = int(record.get("attempts", 0)) + 1
+            if fresh > attempt:
+                attempt = fresh
+                payload = dict(payload, attempt=attempt)
+                _write_json_atomic(lease_path, payload)
+            _obs.emit("lease.claim", digest=digest, label=spec.label,
+                      node=node, attempt=attempt)
+            if _obs.enabled:
+                _obs.metrics.counter("lease.claims").inc()
+            previous = record.get("last_node")
+            if previous is not None and previous != node and attempt > 1:
+                _obs.emit("lease.steal", digest=digest, label=spec.label,
+                          node=node, from_node=previous, attempt=attempt)
+                if _obs.enabled:
+                    _obs.metrics.counter("lease.steals").inc()
+            return spec, attempt
+        return None
+
+    def renew(self, digest: str, node: str) -> bool:
+        """Refresh ``node``'s heartbeat on its lease; False if lost.
+
+        A False return means the lease was reclaimed (or completed)
+        while the worker was heads-down; the worker keeps going — its
+        completion will simply lose the exclusive-marker race if
+        someone else finished first.
+        """
+        lease_path = self.leases_dir / f"{digest}.json"
+        lease = _read_json(lease_path)
+        if lease is None or lease.get("node") != node:
+            return False
+        if self.outcome(digest) is not None:
+            return False
+        lease["heartbeat"] = time.time()
+        _write_json_atomic(lease_path, lease)
+        _obs.emit("lease.renew", digest=digest, node=node)
+        return True
+
+    def release(self, digest: str, node: str) -> None:
+        """Drop ``node``'s lease on ``digest`` if it still holds it."""
+        lease_path = self.leases_dir / f"{digest}.json"
+        lease = _read_json(lease_path)
+        if lease is not None and lease.get("node") == node:
+            lease_path.unlink(missing_ok=True)
+            _obs.emit("lease.release", digest=digest, node=node)
+
+    def reclaim_expired(self, dead_nodes: Sequence[str] = (),
+                        now: float | None = None) -> list[dict]:
+        """Expire stale leases (the coordinator's work-stealing sweep).
+
+        A lease expires when its heartbeat is older than its TTL, or
+        when its node is in ``dead_nodes`` (a worker the coordinator
+        watched die — no reason to wait out the TTL).  Expiry charges
+        the unit the attempt that died (``attempts`` in the unit record
+        advances to the lease's attempt) and records the late holder so
+        the next claim is attributed as a steal.  Returns the expired
+        leases.
+        """
+        now = time.time() if now is None else now
+        dead = set(dead_nodes)
+        expired = []
+        for lease_path in sorted(self.leases_dir.glob("*.json")):
+            digest = lease_path.stem
+            lease = _read_json(lease_path)
+            if lease is None:
+                lease_path.unlink(missing_ok=True)
+                continue
+            if self.outcome(digest) is not None:
+                # Completed; the marker, not the lease, is authoritative.
+                lease_path.unlink(missing_ok=True)
+                continue
+            if lease.get("node") in dead:
+                reason = "node-death"
+            elif now - float(lease.get("heartbeat", 0.0)) > float(
+                    lease.get("ttl", self.lease_ttl)):
+                reason = "ttl"
+            else:
+                continue
+            record = self.unit_record(digest)
+            if record is not None:
+                record["attempts"] = max(int(record.get("attempts", 0)),
+                                         int(lease.get("attempt", 1)))
+                record["last_node"] = lease.get("node")
+                _write_json_atomic(self.units_dir / f"{digest}.json",
+                                   record)
+            lease_path.unlink(missing_ok=True)
+            _obs.emit("lease.expire", digest=digest,
+                      node=lease.get("node"), reason=reason)
+            if _obs.enabled:
+                _obs.metrics.counter("lease.expires").inc()
+            lease["reason"] = reason
+            expired.append(lease)
+        return expired
+
+    # -- completion -------------------------------------------------------
+
+    def complete(self, digest: str, node: str, status: str, attempt: int,
+                 label: str | None = None,
+                 failure: dict | None = None) -> bool:
+        """Publish a completion marker; False when another node beat us.
+
+        ``status`` is 'ok' (result in the shared cache) or 'failed'
+        (``failure`` carries the :class:`UnitFailure` dict).  Exactly
+        one completion wins per digest — the loser of a duplicate
+        execution is counted (``unit.duplicate``) and its lease, if
+        any, released.
+        """
+        if status not in ("ok", "failed"):
+            raise ValueError(f"unknown completion status {status!r}")
+        payload = {
+            "digest": digest,
+            "label": label,
+            "node": node,
+            "status": status,
+            "attempt": attempt,
+        }
+        if failure is not None:
+            payload["failure"] = failure
+        won = _create_json_exclusive(self.done_dir / f"{digest}.json",
+                                     payload)
+        if not won:
+            _obs.emit("unit.duplicate", digest=digest, node=node)
+            if _obs.enabled:
+                _obs.metrics.counter("units.duplicate").inc()
+        self.release(digest, node)
+        return won
+
+    def requeue(self, digest: str, charge_attempt: int = 0) -> None:
+        """Reopen a completed unit (the torn-result recovery path).
+
+        The coordinator calls this when a unit's completion marker says
+        'ok' but its cache entry is unreadable — the work must be
+        redone.  ``charge_attempt`` advances the unit's attempt counter
+        past the attempt whose write tore, so the re-execution is a new
+        attempt (and a deterministic first-attempt-only torn-write rule
+        cannot re-fire on it forever).
+        """
+        record = self.unit_record(digest)
+        if record is not None and charge_attempt > 0:
+            record["attempts"] = max(int(record.get("attempts", 0)),
+                                     charge_attempt)
+            _write_json_atomic(self.units_dir / f"{digest}.json", record)
+        (self.done_dir / f"{digest}.json").unlink(missing_ok=True)

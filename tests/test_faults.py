@@ -81,10 +81,10 @@ class TestRetryPolicy:
     def test_backoff_grows_and_caps(self):
         policy = RetryPolicy(base_delay=0.5, backoff=2.0, max_delay=1.5,
                              jitter=0.0)
-        assert policy.delay_for(1) == 0.5
-        assert policy.delay_for(2) == 1.0
-        assert policy.delay_for(3) == 1.5  # capped
-        assert policy.delay_for(10) == 1.5
+        assert policy.delay_for(1, key="d") == 0.5
+        assert policy.delay_for(2, key="d") == 1.0
+        assert policy.delay_for(3, key="d") == 1.5  # capped
+        assert policy.delay_for(10, key="d") == 1.5
 
     def test_jitter_is_deterministic_and_bounded(self):
         policy = RetryPolicy(base_delay=1.0, backoff=1.0, max_delay=1.0,
@@ -99,6 +99,13 @@ class TestRetryPolicy:
 
     def test_zero_base_delay_stays_zero(self):
         assert FAST.delay_for(5, key="x") == 0.0
+
+    def test_jitter_key_is_required(self):
+        # Jitter is seeded per (digest, attempt), never per process: a
+        # keyless call has no digest to seed from and must not exist,
+        # or two nodes retrying the same unit would desynchronize.
+        with pytest.raises(TypeError):
+            RetryPolicy().delay_for(1)
 
     def test_validation(self):
         with pytest.raises(ValueError, match="max_attempts"):

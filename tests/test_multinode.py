@@ -1,0 +1,731 @@
+"""Multi-node backend tests: work queue, leases, sharded cache, chaos.
+
+Covers the node-level fault-tolerance layer end to end: the crash-safe
+filesystem work queue (atomic lease claims, heartbeat TTL expiry, work
+stealing, exclusive completion markers), the digest-prefix-sharded
+result cache under concurrent writers, per-node manifests with torn-line
+accounting and coordinator merging, the supervised worker fleet of
+``MultiNodeExecutor`` (real SIGKILLs, restarts, quarantine, inline
+drain), and the resume path — an interrupted two-node sweep picks up
+bit-identical to serial with zero re-simulated units.
+"""
+
+import concurrent.futures as cf
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.harness.runner import WorkloadResult
+from repro.runtime import (
+    ExecutionPlan,
+    FaultInjector,
+    FaultRule,
+    MultiNodeExecutor,
+    NodeWorker,
+    ParallelExecutor,
+    ResultCache,
+    RetryPolicy,
+    RunManifest,
+    SerialExecutor,
+    ShardedResultCache,
+    UnitFailure,
+    WorkQueue,
+    make_backend,
+    run_plan,
+)
+from repro.sim.config import SystemConfig
+
+SMALL_SCALES = {"DCT": 64, "RAJ": 32}
+
+# No backoff sleeps, no jitter: failure paths should not slow the suite.
+FAST = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+
+
+@pytest.fixture(scope="module")
+def small_system():
+    return SystemConfig(
+        num_sms=4,
+        l1_bytes=1024,
+        l2_bytes=16 * 1024,
+        tb_size=64,
+        max_tbs_per_sm=2,
+        kernel_launch_cycles=100,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_plan(small_system):
+    return ExecutionPlan.for_sweep(
+        ("DCT", "RAJ"), ("PR", "CC"),
+        max_iters=2,
+        scales=SMALL_SCALES,
+        base_system=small_system,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_results(small_plan):
+    return run_plan(small_plan, jobs=1)
+
+
+@pytest.fixture(autouse=True)
+def _obs_clean():
+    """Leave no test with the process observer enabled (the CLI worker
+    command enables it in-process for ``--events``)."""
+    yield
+    obs.disable()
+
+
+@pytest.fixture
+def ring():
+    """An enabled observer with an in-memory ring, torn down after."""
+    observer = obs.enable(ring=65536)
+    try:
+        yield observer.sinks[0]
+    finally:
+        obs.disable()
+
+
+def _dicts(results):
+    return [r.to_dict() for r in results]
+
+
+def always(kind, match, **kwargs):
+    """A rule that fires on every attempt of the matching units."""
+    return FaultRule(kind=kind, match=match, attempts=10**6, **kwargs)
+
+
+def _node_events(queue):
+    """Every event journaled by worker nodes, across all node logs."""
+    events = []
+    for path in sorted(queue.events_dir.glob("*.jsonl")):
+        for line in path.read_text().splitlines():
+            if line.strip():
+                events.append(json.loads(line))
+    return events
+
+
+# ---------------------------------------------------------------------------
+# Sharded result cache
+
+
+def _hammer_sharded(directory, spec_dict, result_dict, rounds):
+    """Worker for concurrent-writer tests (module-level: picklable)."""
+    from repro.runtime.spec import WorkloadSpec
+
+    cache = ShardedResultCache(directory)
+    spec = WorkloadSpec.from_dict(spec_dict)
+    result = WorkloadResult.from_dict(result_dict)
+    for _ in range(rounds):
+        cache.put(spec, result)
+
+
+def _hammer_corrupting(directory, spec_dict, result_dict, rounds):
+    """Worker that interleaves puts, corruption, and self-healing reads."""
+    from repro.runtime.spec import WorkloadSpec
+
+    cache = ShardedResultCache(directory)
+    spec = WorkloadSpec.from_dict(spec_dict)
+    result = WorkloadResult.from_dict(result_dict)
+    for index in range(rounds):
+        path = cache.put(spec, result)
+        if index % 3 == 0:
+            try:
+                path.write_text("{torn-mid-write")
+            except OSError:
+                pass
+        cache.get(spec)  # must never raise; heals corrupt entries
+
+
+class TestShardedResultCache:
+    def test_layout_and_roundtrip(self, tmp_path, small_plan,
+                                  serial_results):
+        cache = ShardedResultCache(tmp_path / "shards")
+        spec, result = small_plan[0], serial_results[0]
+        path = cache.put(spec, result)
+        digest = spec.digest()
+        assert path.parent.name == digest[:2]
+        assert path.name == f"{digest}.json"
+        assert cache.get(spec).to_dict() == result.to_dict()
+        assert len(cache) == 1
+
+    def test_shards_listing_and_clear(self, tmp_path, small_plan,
+                                      serial_results):
+        cache = ShardedResultCache(tmp_path / "shards")
+        for spec, result in zip(small_plan, serial_results):
+            cache.put(spec, result)
+        prefixes = {spec.digest()[:2] for spec in small_plan}
+        assert [shard.name for shard in cache.shards()] == sorted(prefixes)
+        assert len(cache) == len(small_plan)
+        assert cache.clear() == len(small_plan)
+        assert len(cache) == 0
+
+    def test_prefix_len_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="prefix_len"):
+            ShardedResultCache(tmp_path, prefix_len=0)
+        with pytest.raises(ValueError, match="prefix_len"):
+            ShardedResultCache(tmp_path, prefix_len=9)
+
+    def test_flat_and_sharded_never_alias(self, tmp_path, small_plan,
+                                          serial_results):
+        # Same directory, different layouts: each sees only its own
+        # entries, so the layouts cannot silently mix.
+        spec, result = small_plan[0], serial_results[0]
+        flat = ResultCache(tmp_path / "c")
+        sharded = ShardedResultCache(tmp_path / "c")
+        flat.put(spec, result)
+        assert sharded.get(spec) is None
+        assert len(sharded) == 0
+
+    def test_concurrent_writers_same_shard(self, tmp_path, small_plan,
+                                           serial_results):
+        # Four processes hammering one digest: the entry must always
+        # parse (atomic replace) and no staged .tmp may survive.
+        directory = tmp_path / "cache"
+        spec = small_plan[0]
+        with cf.ProcessPoolExecutor(max_workers=4) as pool:
+            futures = [pool.submit(_hammer_sharded, str(directory),
+                                   spec.to_dict(),
+                                   serial_results[0].to_dict(), 25)
+                       for _ in range(4)]
+            for future in futures:
+                future.result(timeout=60)
+        cache = ShardedResultCache(directory)
+        entries = list(directory.glob(cache._ENTRY_GLOB))
+        assert len(entries) == 1
+        json.loads(entries[0].read_text())
+        assert not list(directory.glob(cache._TMP_GLOB))
+        assert cache.get(spec).to_dict() == serial_results[0].to_dict()
+
+    def test_concurrent_writers_distinct_shards(self, tmp_path, small_plan,
+                                                serial_results):
+        # One process per unit, each landing in its own digest-prefix
+        # shard: all entries present, every shard directory intact.
+        directory = tmp_path / "cache"
+        with cf.ProcessPoolExecutor(max_workers=4) as pool:
+            futures = [pool.submit(_hammer_sharded, str(directory),
+                                   spec.to_dict(), result.to_dict(), 10)
+                       for spec, result in zip(small_plan, serial_results)]
+            for future in futures:
+                future.result(timeout=60)
+        cache = ShardedResultCache(directory)
+        assert len(cache) == len(small_plan)
+        for spec, result in zip(small_plan, serial_results):
+            assert cache.get(spec).to_dict() == result.to_dict()
+
+    def test_corrupt_entries_self_heal_under_contention(
+            self, tmp_path, small_plan, serial_results):
+        # Writers and corrupters race on one digest; reads never raise,
+        # and once the dust settles a final put/get round-trips.
+        directory = tmp_path / "cache"
+        spec = small_plan[0]
+        with cf.ProcessPoolExecutor(max_workers=3) as pool:
+            futures = [pool.submit(_hammer_corrupting, str(directory),
+                                   spec.to_dict(),
+                                   serial_results[0].to_dict(), 20)
+                       for _ in range(3)]
+            for future in futures:
+                future.result(timeout=60)
+        cache = ShardedResultCache(directory)
+        cache.put(spec, serial_results[0])
+        assert cache.get(spec).to_dict() == serial_results[0].to_dict()
+        assert not list(directory.glob(cache._TMP_GLOB))
+
+
+# ---------------------------------------------------------------------------
+# Manifest: torn lines counted, merging
+
+
+class TestManifestTornLines:
+    def test_torn_final_line_skipped_and_counted(self, tmp_path):
+        # A node SIGKILLed mid-append leaves a torn tail; reads must
+        # skip it AND count it, not silently pretend it never happened.
+        manifest = RunManifest(tmp_path / "run.jsonl")
+        manifest.record("d1", "DCT/PR", "ok", node="node-0")
+        manifest.record("d2", "DCT/CC", "failed", kind="crash")
+        with manifest.path.open("a") as handle:
+            handle.write('{"digest": "d3", "label": "RAJ/PR", "sta')
+        entries = manifest.entries()
+        assert [e["digest"] for e in entries] == ["d1", "d2"]
+        assert manifest.torn_lines == 1
+        assert entries[0]["node"] == "node-0"
+        assert manifest.completed_digests() == {"d1"}
+        assert manifest.failed_digests() == {"d2"}
+
+    def test_non_record_lines_count_as_torn(self, tmp_path):
+        manifest = RunManifest(tmp_path / "run.jsonl")
+        manifest.record("d1", "DCT/PR", "ok")
+        with manifest.path.open("a") as handle:
+            handle.write('[1, 2, 3]\n')       # parses, not a record
+            handle.write('{"label": "no-digest"}\n')
+        assert len(manifest.entries()) == 1
+        assert manifest.torn_lines == 2
+
+    def test_torn_count_refreshes_per_read(self, tmp_path):
+        manifest = RunManifest(tmp_path / "run.jsonl")
+        manifest.record("d1", "x", "ok")
+        with manifest.path.open("a") as handle:
+            handle.write('{"torn')
+        manifest.entries()
+        assert manifest.torn_lines == 1
+        # The torn tail is overwritten by a clean journal: count drops.
+        manifest.path.write_text('{"digest": "d1", "status": "ok"}\n')
+        manifest.entries()
+        assert manifest.torn_lines == 0
+
+    def test_merge_from_preserves_provenance_and_counts_torn(
+            self, tmp_path):
+        node0 = RunManifest(tmp_path / "manifests" / "node-0.jsonl")
+        node1 = RunManifest(tmp_path / "manifests" / "node-1.jsonl")
+        node0.record("d1", "DCT/PR", "ok", node="node-0")
+        node1.record("d2", "DCT/CC", "ok", node="node-1")
+        with node1.path.open("a") as handle:
+            handle.write('{"digest": "d3", "status": "o')  # killed here
+        merged = RunManifest(tmp_path / "merged.jsonl")
+        stats = merged.merge_from([node0, node1])
+        assert stats == {"sources": 2, "entries": 2, "torn": 1}
+        by_digest = merged.latest()
+        assert by_digest["d1"]["node"] == "node-0"
+        assert by_digest["d2"]["node"] == "node-1"
+
+    def test_record_entry_validates(self, tmp_path):
+        manifest = RunManifest(tmp_path / "run.jsonl")
+        with pytest.raises(ValueError, match="status"):
+            manifest.record_entry({"digest": "d", "status": "bogus"})
+        with pytest.raises(ValueError, match="digest"):
+            manifest.record_entry({"status": "ok"})
+
+
+# ---------------------------------------------------------------------------
+# Work queue protocol
+
+
+class TestWorkQueue:
+    @pytest.fixture
+    def queue(self, tmp_path):
+        return WorkQueue(tmp_path / "queue", lease_ttl=30.0)
+
+    def test_seed_is_idempotent(self, queue, small_plan):
+        first = queue.seed(small_plan)
+        assert first == {"units": len(small_plan), "skipped": 0}
+        again = queue.seed(small_plan)
+        assert again == {"units": 0, "skipped": len(small_plan)}
+        assert queue.digests() == sorted(s.digest() for s in small_plan)
+
+    def test_claims_are_exclusive_per_unit(self, queue, small_plan):
+        queue.seed(small_plan)
+        claimed = set()
+        for node in ("a", "b", "c", "d"):
+            spec, attempt = queue.claim(node)
+            assert attempt == 1
+            claimed.add(spec.digest())
+        assert len(claimed) == len(small_plan)
+        assert queue.claim("e") is None      # everything leased
+        assert not queue.drained()           # leased, not done
+
+    def test_renew_and_release(self, queue, small_plan):
+        queue.seed(small_plan)
+        spec, _ = queue.claim("a")
+        digest = spec.digest()
+        before = queue.lease(digest)["heartbeat"]
+        time.sleep(0.01)
+        assert queue.renew(digest, "a")
+        assert queue.lease(digest)["heartbeat"] > before
+        assert not queue.renew(digest, "b")  # not the holder
+        queue.release(digest, "a")
+        assert queue.lease(digest) is None
+        assert not queue.renew(digest, "a")  # nothing to renew
+
+    def test_ttl_expiry_charges_attempt_and_next_claim_steals(
+            self, queue, small_plan, ring):
+        queue.seed([small_plan[0]])
+        spec, attempt = queue.claim("a")
+        digest = spec.digest()
+        assert attempt == 1
+        # Nothing is stale yet; then jump past the TTL via `now`.
+        assert queue.reclaim_expired() == []
+        expired = queue.reclaim_expired(now=time.time() + 31.0)
+        assert [lease["reason"] for lease in expired] == ["ttl"]
+        record = queue.unit_record(digest)
+        assert record["attempts"] == 1
+        assert record["last_node"] == "a"
+        spec2, attempt2 = queue.claim("b")
+        assert spec2.digest() == digest
+        assert attempt2 == 2
+        steals = ring.events("lease.steal")
+        assert len(steals) == 1
+        assert steals[0].data["node"] == "b"
+        assert steals[0].data["from_node"] == "a"
+
+    def test_known_dead_node_reclaims_without_ttl_wait(self, queue,
+                                                       small_plan, ring):
+        queue.seed([small_plan[0]])
+        spec, _ = queue.claim("a")
+        expired = queue.reclaim_expired(dead_nodes=["a"])
+        assert [lease["reason"] for lease in expired] == ["node-death"]
+        assert queue.lease(spec.digest()) is None
+        assert ring.events("lease.expire")[0].data["reason"] == "node-death"
+
+    def test_completion_is_exclusive_and_absorbs_duplicates(
+            self, queue, small_plan, ring):
+        queue.seed([small_plan[0]])
+        spec, _ = queue.claim("a")
+        digest = spec.digest()
+        assert queue.complete(digest, "a", "ok", 1, label=spec.label)
+        # A stalled node finishing late loses the marker race.
+        assert not queue.complete(digest, "b", "ok", 2, label=spec.label)
+        assert queue.outcome(digest)["node"] == "a"
+        assert queue.lease(digest) is None
+        duplicates = ring.events("unit.duplicate")
+        assert len(duplicates) == 1 and duplicates[0].data["node"] == "b"
+        assert queue.drained()
+
+    def test_injected_duplicate_claim_races_to_the_marker(
+            self, queue, small_plan, ring):
+        queue.seed([small_plan[0]])
+        spec, _ = queue.claim("a")
+        digest = spec.digest()
+        injector = FaultInjector(rules=(always("duplicate-claim", "*"),))
+        # Without the injected race, the live lease blocks the claim.
+        assert queue.claim("b") is None
+        dup_spec, _ = queue.claim("b", injector=injector)
+        assert dup_spec.digest() == digest
+        # Both "executions" finish; exactly one completion wins.
+        assert queue.complete(digest, "b", "ok", 1, label=spec.label)
+        assert not queue.complete(digest, "a", "ok", 1, label=spec.label)
+        assert queue.outcome(digest)["node"] == "b"
+
+    def test_requeue_reopens_and_charges(self, queue, small_plan):
+        queue.seed([small_plan[0]])
+        spec, attempt = queue.claim("a")
+        digest = spec.digest()
+        queue.complete(digest, "a", "ok", attempt, label=spec.label)
+        assert queue.drained()
+        queue.requeue(digest, charge_attempt=attempt)
+        assert not queue.drained()
+        assert queue.outcome(digest) is None
+        # The torn attempt was charged: the redo is attempt 2.
+        _, attempt2 = queue.claim("b")
+        assert attempt2 == 2
+
+    def test_claim_corrects_stale_attempt_from_reclaim_race(
+            self, queue, small_plan, monkeypatch):
+        # The claim/reclaim race: a worker reads the unit record before
+        # the coordinator charges an expired attempt, then wins the
+        # lease after the stale lease is unlinked.  The claim must
+        # re-read and correct its attempt — otherwise a deterministic
+        # first-attempt-only kill rule re-fires on every redo.
+        queue.seed([small_plan[0]])
+        queue.claim("a")
+        queue.reclaim_expired(dead_nodes=["a"])  # charges attempt 1
+        digest = small_plan[0].digest()
+        real = WorkQueue.unit_record
+        state = {"first": True}
+
+        def stale_then_real(self, wanted):
+            record = real(self, wanted)
+            if state["first"] and wanted == digest:
+                state["first"] = False
+                record = dict(record, attempts=0)  # pre-charge snapshot
+            return record
+
+        monkeypatch.setattr(WorkQueue, "unit_record", stale_then_real)
+        spec, attempt = queue.claim("b")
+        assert spec.digest() == digest
+        assert attempt == 2
+        assert queue.lease(digest)["attempt"] == 2
+
+    def test_spec_for_unknown_digest(self, queue):
+        with pytest.raises(KeyError):
+            queue.spec_for("feedface")
+
+
+# ---------------------------------------------------------------------------
+# Backend registry, plan resume arithmetic
+
+
+class TestBackendRegistry:
+    def test_names_resolve_to_executor_types(self, tmp_path):
+        assert isinstance(make_backend("serial"), SerialExecutor)
+        assert isinstance(make_backend("process", jobs=2),
+                          ParallelExecutor)
+        assert isinstance(
+            make_backend("multinode", nodes=2,
+                         queue_dir=tmp_path / "q"),
+            MultiNodeExecutor)
+        assert isinstance(make_backend("auto", jobs=1), SerialExecutor)
+        assert isinstance(make_backend("auto", jobs=4), ParallelExecutor)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("carrier-pigeon")
+
+    def test_multinode_validates_shape(self):
+        with pytest.raises(ValueError, match="nodes"):
+            MultiNodeExecutor(nodes=0)
+        with pytest.raises(ValueError, match="node_restarts"):
+            MultiNodeExecutor(node_restarts=-1)
+
+
+class TestPlanRemaining:
+    def test_remaining_drops_completed_keeps_failed_and_unseen(
+            self, tmp_path, small_plan):
+        manifest = RunManifest(tmp_path / "run.jsonl")
+        digests = [spec.digest() for spec in small_plan]
+        manifest.record(digests[0], small_plan[0].label, "ok")
+        manifest.record(digests[1], small_plan[1].label, "cached")
+        manifest.record(digests[2], small_plan[2].label, "failed",
+                        kind="crash")
+        # digests[3] never ran.
+        remaining = small_plan.remaining(manifest)
+        assert [spec.digest() for spec in remaining] == digests[2:]
+        # Latest record wins: the failure later succeeded.
+        manifest.record(digests[2], small_plan[2].label, "ok")
+        assert [spec.digest()
+                for spec in small_plan.remaining(manifest)] == digests[3:]
+
+
+# ---------------------------------------------------------------------------
+# The multi-node executor
+
+
+class TestMultiNodeExecutor:
+    def test_matches_serial_bit_for_bit(self, tmp_path, small_plan,
+                                        serial_results):
+        executor = MultiNodeExecutor(nodes=2, policy=FAST,
+                                     queue_dir=tmp_path / "queue",
+                                     lease_ttl=10.0)
+        outcomes = dict(executor.run(list(small_plan)))
+        ordered = [outcomes[i] for i in range(len(small_plan))]
+        assert _dicts(ordered) == _dicts(serial_results)
+
+    def test_private_queue_dir_cleaned_after_clean_drain(self, small_plan,
+                                                         serial_results):
+        executor = MultiNodeExecutor(nodes=2, policy=FAST, lease_ttl=10.0)
+        outcomes = dict(executor.run(list(small_plan)))
+        assert _dicts([outcomes[i] for i in range(len(small_plan))]) \
+            == _dicts(serial_results)
+
+    def test_torn_cache_write_is_detected_and_redone(self, tmp_path,
+                                                     small_plan,
+                                                     serial_results, ring):
+        # First publication of DCT/PR tears on disk; the coordinator
+        # must treat the 'ok' marker as hollow, reopen the unit, and
+        # get a clean result on the charged second attempt.
+        injector = FaultInjector(rules=(
+            FaultRule(kind="torn-cache-write", match="DCT/PR",
+                      attempts=1),))
+        executor = MultiNodeExecutor(nodes=2, policy=FAST,
+                                     injector=injector,
+                                     queue_dir=tmp_path / "queue",
+                                     lease_ttl=10.0)
+        outcomes = dict(executor.run(list(small_plan)))
+        ordered = [outcomes[i] for i in range(len(small_plan))]
+        assert _dicts(ordered) == _dicts(serial_results)
+        retried = [event for event in ring.events("unit.retried")
+                   if event.data.get("cause") == "torn-result"]
+        assert len(retried) == 1
+        # The healed entry round-trips from the shared cache.
+        cache = WorkQueue(tmp_path / "queue").result_cache()
+        assert cache.get(small_plan[0]).to_dict() \
+            == serial_results[0].to_dict()
+
+    def test_node_killing_unit_is_quarantined(self, tmp_path, small_plan,
+                                              serial_results, ring):
+        # DCT/PR SIGKILLs every node that touches it.  With a 2-attempt
+        # budget the coordinator must declare it crashed (quarantined)
+        # instead of feeding it nodes forever — and the other units
+        # still complete.
+        injector = FaultInjector(rules=(always("node-kill", "DCT/PR"),))
+        executor = MultiNodeExecutor(
+            nodes=1, policy=RetryPolicy(max_attempts=2, base_delay=0.0,
+                                        jitter=0.0),
+            injector=injector, queue_dir=tmp_path / "queue",
+            lease_ttl=10.0, node_restarts=3)
+        outcomes = dict(executor.run(list(small_plan)))
+        poisoned = outcomes[0]
+        assert isinstance(poisoned, UnitFailure)
+        assert poisoned.kind == "crash"
+        assert poisoned.quarantined
+        assert poisoned.attempts == 2
+        assert "NodeDeath" in poisoned.exception
+        survivors = [outcomes[i] for i in range(1, len(small_plan))]
+        assert _dicts(survivors) == _dicts(serial_results[1:])
+        assert len(ring.events("unit.quarantined")) == 1
+        # Two incarnations died carrying the unit.
+        crash_leaves = [event for event in ring.events("node.leave")
+                        if event.data["reason"] == "crash"]
+        assert len(crash_leaves) == 2
+
+    def test_exhausted_fleet_drains_inline(self, tmp_path, small_plan,
+                                           serial_results, ring):
+        # Every unit kills its node and there is no restart budget: the
+        # fleet dies instantly, yet the sweep must still terminate with
+        # every slot filled — the coordinator strips node-kill rules and
+        # finishes the work itself.
+        injector = FaultInjector(rules=(
+            FaultRule(kind="node-kill", match="*", attempts=1),))
+        executor = MultiNodeExecutor(nodes=1, policy=FAST,
+                                     injector=injector,
+                                     queue_dir=tmp_path / "queue",
+                                     lease_ttl=10.0, node_restarts=0)
+        outcomes = dict(executor.run(list(small_plan)))
+        ordered = [outcomes[i] for i in range(len(small_plan))]
+        assert _dicts(ordered) == _dicts(serial_results)
+        leaves = [event.data["reason"]
+                  for event in ring.events("node.leave")]
+        assert "quarantined" in leaves
+
+    def test_heartbeat_stall_gets_unit_stolen(self, tmp_path, small_plan,
+                                              serial_results, ring):
+        # A node freezes renewals on DCT/PR for longer than the TTL:
+        # the coordinator expires the lease and the other node steals
+        # and finishes the unit while the stalled one is still asleep.
+        injector = FaultInjector(rules=(
+            FaultRule(kind="heartbeat-stall", match="DCT/PR",
+                      attempts=1, hang=2.0),))
+        executor = MultiNodeExecutor(nodes=2, policy=FAST,
+                                     injector=injector,
+                                     queue_dir=tmp_path / "queue",
+                                     lease_ttl=0.3, poll=0.02)
+        outcomes = dict(executor.run(list(small_plan)))
+        ordered = [outcomes[i] for i in range(len(small_plan))]
+        assert _dicts(ordered) == _dicts(serial_results)
+        expires = ring.events("lease.expire")
+        assert [event.data["reason"] for event in expires] == ["ttl"]
+        queue = WorkQueue(tmp_path / "queue")
+        steals = [event for event in _node_events(queue)
+                  if event["kind"] == "lease.steal"]
+        assert len(steals) == 1
+        assert steals[0]["label"] == "DCT/PR"
+
+
+# ---------------------------------------------------------------------------
+# The chaos acceptance test: kill a node mid-sweep, resume, account
+
+
+class TestChaosAcceptance:
+    def test_interrupted_sweep_resumes_bit_identical_with_zero_resim(
+            self, tmp_path, small_plan, serial_results, ring):
+        queue_dir = tmp_path / "queue"
+        manifest_path = tmp_path / "run-manifest.jsonl"
+        user_cache = ShardedResultCache(tmp_path / "user-cache")
+        injector = FaultInjector(rules=(
+            FaultRule(kind="node-kill", match="RAJ/CC", attempts=1),))
+
+        # Phase A: a two-node sweep; the node holding RAJ/CC is
+        # SIGKILLed mid-unit, its lease is reclaimed, a restarted
+        # incarnation steals the unit, and the sweep completes.
+        executor = MultiNodeExecutor(nodes=2, policy=FAST,
+                                     injector=injector,
+                                     queue_dir=queue_dir, lease_ttl=10.0)
+        results = run_plan(small_plan, executor=executor, cache=user_cache,
+                           policy=FAST, manifest=manifest_path)
+        assert _dicts(results) == _dicts(serial_results)
+
+        queue = WorkQueue(queue_dir)
+        worker_events = _node_events(queue)
+        claims = [e for e in worker_events if e["kind"] == "lease.claim"]
+        steals = [e for e in worker_events if e["kind"] == "lease.steal"]
+        expires = ring.events("lease.expire")
+
+        # The event log accounts for every claim/expiry/steal: each
+        # claim either produced the unit's one completion marker or
+        # died with the lease (no duplicates in the kill scenario).
+        assert len(expires) == 1
+        assert expires[0].data["reason"] == "node-death"
+        assert len(claims) == len(small_plan) + len(expires)
+        assert len(steals) == 1
+        assert steals[0]["label"] == "RAJ/CC"
+        assert steals[0]["from_node"] == expires[0].data["node"]
+        assert {e["digest"] for e in claims} \
+            == {spec.digest() for spec in small_plan}
+
+        # The merged manifest covers every unit, with provenance.
+        merged = RunManifest(queue_dir / "manifest.jsonl")
+        assert merged.completed_digests() \
+            == {spec.digest() for spec in small_plan}
+        assert all("node" in entry for entry in merged.entries())
+        assert executor.last_merge is not None
+        assert executor.last_merge["sources"] >= 2
+
+        # Results were published into digest-prefix shards.
+        shard_cache = queue.result_cache()
+        assert [s.name for s in shard_cache.shards()] \
+            == sorted({spec.digest()[:2] for spec in small_plan})
+
+        # Phase B: resume.  The run-level manifest and cache say
+        # everything completed; nothing may be re-simulated — not even
+        # executor construction should be needed.
+        resumed = run_plan(small_plan.remaining(RunManifest(manifest_path)),
+                           cache=user_cache, policy=FAST)
+        assert resumed == []
+        restored = run_plan(small_plan, cache=user_cache, policy=FAST,
+                            manifest=manifest_path)
+        assert _dicts(restored) == _dicts(serial_results)
+        cached = ring.events("unit.cached")
+        assert len(cached) >= len(small_plan)
+        # Zero units re-entered a worker during the resume phase.
+        assert len([e for e in _node_events(queue)
+                    if e["kind"] == "lease.claim"]) == len(claims)
+
+
+# ---------------------------------------------------------------------------
+# CLI: worker command, multinode sweep, --resume
+
+
+class TestCLI:
+    def test_worker_drains_a_seeded_queue(self, tmp_path, small_plan,
+                                          serial_results, capsys):
+        queue = WorkQueue(tmp_path / "queue")
+        queue.seed([small_plan[0]])
+        assert main(["worker", str(tmp_path / "queue"),
+                     "--node", "cli-node", "--events"]) == 0
+        out = capsys.readouterr().out
+        assert "cli-node: processed 1 unit(s)" in out
+        assert queue.drained()
+        assert queue.result_cache().get(small_plan[0]).to_dict() \
+            == serial_results[0].to_dict()
+        kinds = [event["kind"] for event in _node_events(queue)]
+        assert "lease.claim" in kinds
+        manifest = queue.node_manifest("cli-node")
+        assert manifest.completed_digests() == {small_plan[0].digest()}
+
+    def test_sweep_multinode_backend(self, tmp_path, capsys):
+        queue_dir = tmp_path / "queue"
+        assert main(["sweep", "--graphs", "DCT", "--apps", "PR",
+                     "--iters", "1", "--no-cache",
+                     "--backend", "multinode", "--nodes", "2",
+                     "--queue-dir", str(queue_dir),
+                     "--lease-ttl", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep summary" in out
+        assert (queue_dir / "manifest.jsonl").exists()
+        assert RunManifest(queue_dir / "manifest.jsonl").entries()
+
+    def test_sweep_resume_reports_and_restores(self, tmp_path, capsys):
+        manifest_path = tmp_path / "sweep.jsonl"
+        assert main(["sweep", "--graphs", "DCT", "--apps", "PR",
+                     "--iters", "1",
+                     "--manifest", str(manifest_path)]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--graphs", "DCT", "--apps", "PR",
+                     "--iters", "1",
+                     "--resume", str(manifest_path)]) == 0
+        out = capsys.readouterr().out
+        assert "resuming from" in out
+        assert "1 of 1 unit(s) already complete, 0 to go" in out
+        assert "(cached)" in out
+        # The journal kept growing in place across both runs.
+        manifest = RunManifest(manifest_path)
+        statuses = [entry["status"] for entry in manifest.entries()]
+        assert statuses == ["ok", "cached"]
+
+    def test_sweep_resume_refuses_no_cache(self, tmp_path):
+        with pytest.raises(SystemExit, match="--resume"):
+            main(["sweep", "--graphs", "DCT", "--apps", "PR",
+                  "--iters", "1", "--no-cache",
+                  "--resume", str(tmp_path / "none.jsonl")])
