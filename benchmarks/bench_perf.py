@@ -17,6 +17,7 @@ JSON schema (``"schema": 1``)::
     {
       "schema": 1,
       "mode": "quick" | "full",
+      "engine": "scalar" | "batched",
       "commit": "<git short sha or 'unknown'>",
       "rows": <workloads swept>,
       "ops": <op tuples executed across all configurations>,
@@ -61,11 +62,13 @@ def _commit() -> str:
         return "unknown"
 
 
-def run_bench(quick: bool) -> dict:
+def run_bench(quick: bool, engine: str | None = None) -> dict:
     """Run the sweep with perf collection on; return the measurement."""
     from repro.harness import PAPER_APPS, run_sweep
     from repro.perf import collector
+    from repro.sim.config import resolve_engine, set_default_engine
 
+    set_default_engine(engine)
     collector.reset()
     collector.enabled = True
     try:
@@ -85,6 +88,7 @@ def run_bench(quick: bool) -> dict:
     return {
         "schema": BENCH_SCHEMA,
         "mode": "quick" if quick else "full",
+        "engine": resolve_engine(engine),
         "commit": _commit(),
         "rows": len(sweep.rows),
         "ops": snap["ops"],
@@ -132,10 +136,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed relative wall-clock regression for "
                              "--check-against (default 0.25)")
+    parser.add_argument("--engine", choices=["scalar", "batched"],
+                        default=None,
+                        help="simulator engine to benchmark (default: the "
+                             "process default, see REPRO_SIM_ENGINE)")
     args = parser.parse_args(argv)
 
     quick = args.quick or os.environ.get("REPRO_BENCH_QUICK", "") == "1"
-    measured = run_bench(quick)
+    measured = run_bench(quick, engine=args.engine)
 
     phases = measured["phases"]
     print(f"\nmode={measured['mode']} rows={measured['rows']} "
@@ -163,8 +171,19 @@ def main(argv: list[str] | None = None) -> int:
                 baseline = dict(baseline)
                 base_total = baseline.get("phases", {}).get("total_s")
                 if base_total and phases["total_s"] > 0:
-                    baseline["speedup"] = round(
-                        base_total / phases["total_s"], 2)
+                    # speedup and note MUST quote the same phase-timer
+                    # pair: the baseline's in-process total vs this run's
+                    # in-process total.  (An earlier artifact mixed a
+                    # separately-measured wall pair into the note while
+                    # computing speedup from the phase totals — the two
+                    # told different stories.)
+                    speedup = round(base_total / phases["total_s"], 2)
+                    baseline["speedup"] = speedup
+                    baseline["note"] = (
+                        "seed commit timed with the same in-process phase "
+                        f"timers as 'phases'; matched total pair "
+                        f"{base_total:.3f}s -> {phases['total_s']:.3f}s "
+                        f"({speedup:.2f}x)")
                 measured["baseline"] = baseline
         args.output.write_text(json.dumps(measured, indent=1) + "\n")
         print(f"wrote {args.output}")

@@ -70,7 +70,8 @@ from .runtime import (
     WorkloadSpec,
     run_plan,
 )
-from .sim.config import DEFAULT_SYSTEM, scaled_system
+from .sim.config import DEFAULT_SYSTEM, ENGINES, scaled_system, \
+    set_default_engine
 from .taxonomy import APP_PROPERTIES, profile_graph, profile_workload
 
 __all__ = ["main"]
@@ -247,7 +248,22 @@ def _finish_profile() -> None:
         print(line)
 
 
+def _apply_engine(args) -> None:
+    """Install ``--engine`` as the process default.
+
+    The env var (not just the in-process default) carries the choice
+    into process-pool and multinode workers, which re-resolve it on
+    import.
+    """
+    if getattr(args, "engine", None):
+        import os
+
+        set_default_engine(args.engine)
+        os.environ["REPRO_SIM_ENGINE"] = args.engine
+
+
 def _cmd_run(args) -> int:
+    _apply_engine(args)
     ref = _resolve_ref(args.graph)
     configs = None
     if args.configs:
@@ -336,6 +352,8 @@ def _report_resume(args, graphs, apps) -> None:
 def _cmd_sweep(args) -> int:
     from .harness import APPS, GRAPHS, flexibility_stats, format_pct, \
         run_sweep
+
+    _apply_engine(args)
 
     graphs = _split_choices(args.graphs, GRAPHS, "graph") or GRAPHS
     apps = _split_choices(args.apps, APPS, "app") or APPS
@@ -455,6 +473,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="print a trace-gen vs. simulate wall-"
                                  "clock breakdown afterwards (forces "
                                  "uncached in-process execution)")
+    perf_flags.add_argument("--engine", choices=list(ENGINES), default=None,
+                            help="simulator core: 'scalar' (reference "
+                                 "oracle) or 'batched' (lockstep columnar "
+                                 "dispatch; bit-identical results). "
+                                 "Default: $REPRO_SIM_ENGINE or scalar")
 
     obs_flags = argparse.ArgumentParser(add_help=False)
     obs_flags.add_argument("--events", default=None, metavar="PATH",

@@ -15,7 +15,7 @@ from ..kernels import TraceBuilder, make_kernel
 from ..obs import OBSERVER as _obs
 from ..perf import collector as _perf
 from ..sim.config import DEFAULT_SYSTEM, SystemConfig
-from ..sim.engine import ExecutionResult, GPUSimulator
+from ..sim.engine import ExecutionResult, make_simulator
 
 __all__ = ["WorkloadResult", "run_workload"]
 
@@ -103,11 +103,15 @@ def run_workload(
     system: SystemConfig = DEFAULT_SYSTEM,
     max_iters: int | None = None,
     seed: int = 0,
+    engine: str | None = None,
 ) -> WorkloadResult:
     """Simulate one workload on each configuration; share trace generation.
 
     ``configs`` defaults to the Figure 5 set for the app's traversal type.
-    Raises ``ValueError`` when a configuration's direction is incompatible
+    ``engine`` selects the simulator implementation (``scalar`` or
+    ``batched`` — bit-identical results; None uses the process/env
+    default, see :func:`repro.sim.config.resolve_engine`).  Raises
+    ``ValueError`` when a configuration's direction is incompatible
     with the application (CC cannot be pushed or pulled; static apps have
     no 'dynamic' realization).
     """
@@ -126,8 +130,8 @@ def run_workload(
 
     builder = TraceBuilder(graph, system)
     simulators = {
-        config.code: (config, GPUSimulator(
-            system, config.coherence, config.consistency
+        config.code: (config, make_simulator(
+            system, config.coherence, config.consistency, engine=engine
         ))
         for config in configs
     }

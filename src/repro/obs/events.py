@@ -60,6 +60,8 @@ EVENT_KINDS = (
     "cache.corrupt",      # digest, label (entry unlinked / self-healed)
     # Simulation.
     "workload.simulated",  # app, graph, ops, rounds, configs
+    "sim.batch",           # kernel, rounds, mean_width, max_width,
+                           #   scalar_fallback (batched engine occupancy)
 )
 
 _KIND_SET = frozenset(EVENT_KINDS)

@@ -40,18 +40,21 @@ class TestGoldenEquivalence:
     breakdowns, and memory statistics may not drift by even one ULP.
     """
 
+    @pytest.mark.parametrize("engine", ["scalar", "batched"])
     @pytest.mark.parametrize("wl", _golden_workloads())
-    def test_bit_identical_to_fixture(self, wl):
+    def test_bit_identical_to_fixture(self, wl, engine):
         graph = load_dataset(wl["dataset"], scale=wl["scale"])
         result = run_workload(
             wl["app"], graph,
             configs=[parse_config(c) for c in wl["configs"]],
             system=scaled_system(wl["scale"]),
             max_iters=wl["max_iters"],
+            engine=engine,
         )
         for code in wl["configs"]:
             assert result.results[code].to_dict() == wl["results"][code], \
-                f"{wl['app']}/{wl['dataset']}/{code} drifted from golden"
+                (f"{wl['app']}/{wl['dataset']}/{code} ({engine}) "
+                 f"drifted from golden")
 
 
 @pytest.fixture
