@@ -9,6 +9,9 @@ run GRAPH APP         simulate the Figure 5 configurations for a workload
 sweep                 the full sweep: six graphs x the registered
                       applications (slow)
 worker QUEUE_DIR      join a multi-node sweep as one worker node
+serve                 run the sweep-as-a-service daemon (HTTP over TCP
+                      and/or a Unix socket)
+submit GRAPH APP      run one workload through a serve daemon
 
 ``GRAPH`` is one of AMZ DCT EML OLS RAJ WNG (built at its simulation
 scale) or a path to a Matrix Market file (profiled against the full-size
@@ -45,6 +48,13 @@ work queue (``--queue-dir DIR`` to place it somewhere shared and
 inspectable).  Additional nodes — on this machine or any machine
 mounting the same filesystem — join with ``repro worker QUEUE_DIR``;
 a node killed mid-unit costs one lease reclaim, never the sweep.
+
+``repro serve`` keeps the runtime resident: requests are deduplicated by
+spec digest, warm digests answer straight from the result cache, cold
+ones batch into plans under admission control (see DESIGN.md §14).
+``repro submit`` and ``repro sweep --server URL`` are clients of that
+daemon; ``sweep --server`` falls back to local execution when the
+daemon is unreachable.
 """
 
 from __future__ import annotations
@@ -264,16 +274,7 @@ def _apply_engine(args) -> None:
 
 def _cmd_run(args) -> int:
     _apply_engine(args)
-    ref = _resolve_ref(args.graph)
-    configs = None
-    if args.configs:
-        configs = [parse_config(code) for code in args.configs.split(",")]
-    spec = WorkloadSpec.for_workload(
-        args.app.upper(), ref,
-        configs=configs,
-        system=scaled_system(ref.scale),
-        max_iters=args.iters,
-    )
+    spec = _build_spec(args)
     profiling = _start_profile(args)
     observer = _start_obs(args)
     try:
@@ -289,11 +290,7 @@ def _cmd_run(args) -> int:
         _print_failure(result)
         _finish_obs(args, observer)
         return 1
-    print(f"{spec.app} on {result.graph_name}: normalized execution time")
-    for code, value in result.normalized().items():
-        print(render_breakdown_bars(
-            code, result.results[code].breakdown, value))
-    print(f"best: {result.best_code}")
+    _print_workload(spec, result)
     _finish_obs(args, observer)
     if profiling:
         _finish_profile()
@@ -349,14 +346,84 @@ def _report_resume(args, graphs, apps) -> None:
              if manifest.torn_lines else ""))
 
 
+def _print_sweep(sweep) -> int:
+    """Render a completed sweep (local or served); 1 if units failed."""
+    from .harness import flexibility_stats, format_pct
+
+    rows = [{
+        "Workload": f"{r.app}-{r.graph}",
+        "Best": r.best,
+        "Predicted": r.predicted,
+        "Exact": _gap_cell(r),
+    } for r in sweep.rows]
+    print(render_table(rows, title="Sweep summary"))
+    stats = flexibility_stats(sweep)
+    print(f"\nmodel exact: {sweep.exact_predictions}/{len(sweep.rows)}; "
+          f"default loses on {stats.default_losses} workloads "
+          f"(avg reduction {format_pct(stats.avg_reduction)})")
+    if sweep.failures:
+        print(f"\n{len(sweep.failures)} workload(s) failed:",
+              file=sys.stderr)
+        for failure in sweep.failures:
+            _print_failure(failure)
+        return 1
+    return 0
+
+
+def _sweep_via_server(args, graphs, apps):
+    """Run the sweep through a serve daemon.
+
+    Returns the :class:`~repro.harness.sweep.SweepResult`, or None when
+    no daemon answers at ``--server`` (the caller falls back to local
+    execution).  Simulation happens server-side; only the cheap
+    aggregation (profiles + model predictions) runs here.
+    """
+    from .harness.runner import WorkloadResult
+    from .harness.sweep import aggregate_sweep
+    from .runtime import ExecutionPlan
+    from .serve import ServeClient, ServeUnavailable
+
+    plan = ExecutionPlan.for_sweep(graphs, apps, max_iters=args.iters)
+    try:
+        with ServeClient(args.server, client_id="cli-sweep") as client:
+            client.health()
+            print(f"submitting {len(plan)} unit(s) to {args.server}",
+                  flush=True)
+            envelopes = client.submit_many(list(plan))
+    except ServeUnavailable as exc:
+        print(f"warning: {exc}; running the sweep locally",
+              file=sys.stderr)
+        return None
+    workloads = []
+    for spec, envelope in zip(plan, envelopes):
+        status = envelope.get("status")
+        if status == "ok":
+            workloads.append(WorkloadResult.from_dict(envelope["result"]))
+        elif status == "failed":
+            workloads.append(UnitFailure.from_dict(envelope["failure"]))
+        else:  # still rejected after the client's retry budget
+            workloads.append(UnitFailure(
+                digest=envelope.get("digest", spec.digest()),
+                label=spec.label, kind="rejected", attempts=0,
+                exception="ServeRejected",
+                message=f"admission control ({envelope.get('reason')})"))
+        print(f"  {spec.label} ({envelope.get('source', status)})",
+              flush=True)
+    return aggregate_sweep(plan, workloads, graphs, apps)
+
+
 def _cmd_sweep(args) -> int:
-    from .harness import APPS, GRAPHS, flexibility_stats, format_pct, \
-        run_sweep
+    from .harness import APPS, GRAPHS, run_sweep
 
     _apply_engine(args)
 
     graphs = _split_choices(args.graphs, GRAPHS, "graph") or GRAPHS
     apps = _split_choices(args.apps, APPS, "app") or APPS
+    if args.server:
+        sweep = _sweep_via_server(args, graphs, apps)
+        if sweep is not None:
+            return _print_sweep(sweep)
+        # unreachable daemon: fall through to the local path
     if args.resume:
         _report_resume(args, graphs, apps)
     profiling = _start_profile(args)
@@ -379,28 +446,85 @@ def _cmd_sweep(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         _finish_obs(args, observer)
         return 1
-    rows = [{
-        "Workload": f"{r.app}-{r.graph}",
-        "Best": r.best,
-        "Predicted": r.predicted,
-        "Exact": _gap_cell(r),
-    } for r in sweep.rows]
-    print(render_table(rows, title="Sweep summary"))
-    stats = flexibility_stats(sweep)
-    print(f"\nmodel exact: {sweep.exact_predictions}/{len(sweep.rows)}; "
-          f"default loses on {stats.default_losses} workloads "
-          f"(avg reduction {format_pct(stats.avg_reduction)})")
+    status = _print_sweep(sweep)
     _finish_obs(args, observer)
-    if sweep.failures:
-        print(f"\n{len(sweep.failures)} workload(s) failed:",
-              file=sys.stderr)
-        for failure in sweep.failures:
-            _print_failure(failure)
-        if profiling:
-            _finish_profile()
-        return 1
     if profiling:
         _finish_profile()
+    return status
+
+
+def _build_spec(args) -> WorkloadSpec:
+    """The workload spec ``run``/``submit`` share (same flags, same key)."""
+    ref = _resolve_ref(args.graph)
+    configs = None
+    if args.configs:
+        configs = [parse_config(code) for code in args.configs.split(",")]
+    return WorkloadSpec.for_workload(
+        args.app.upper(), ref,
+        configs=configs,
+        system=scaled_system(ref.scale),
+        max_iters=args.iters,
+    )
+
+
+def _print_workload(spec: WorkloadSpec, result, source: str | None = None) \
+        -> None:
+    suffix = f" (served: {source})" if source else ""
+    print(f"{spec.app} on {result.graph_name}: normalized execution time"
+          f"{suffix}")
+    for code, value in result.normalized().items():
+        print(render_breakdown_bars(
+            code, result.results[code].breakdown, value))
+    print(f"best: {result.best_code}")
+
+
+def _cmd_serve(args) -> int:
+    from .serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        uds=args.uds,
+        cache_dir=args.cache_dir,
+        cache_layout=args.cache_layout,
+        backend=args.backend,
+        jobs=args.jobs,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        max_inflight_units=args.max_inflight,
+        client_rate=args.client_rate,
+        client_burst=args.client_burst,
+        manifest=args.manifest,
+        policy=_resolve_policy(args),
+    )
+    observer = _start_obs(args)
+    try:
+        run_server(config)
+    finally:
+        _finish_obs(args, observer)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from .harness.runner import WorkloadResult
+    from .serve import ServeClient, ServeError, ServeRejected, \
+        ServeUnavailable
+
+    spec = _build_spec(args)
+    try:
+        with ServeClient(args.server, client_id=args.client) as client:
+            envelope = client.submit(spec, max_wait=args.max_wait)
+    except ServeRejected as exc:
+        print(f"rejected: {exc}", file=sys.stderr)
+        return 1
+    except (ServeUnavailable, ServeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if envelope.get("status") == "failed":
+        _print_failure(UnitFailure.from_dict(envelope["failure"]))
+        return 1
+    result = WorkloadResult.from_dict(envelope["result"])
+    _print_workload(spec, result, source=envelope.get("source"))
     return 0
 
 
@@ -539,6 +663,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "manifest journal: completed units restore "
                               "from the result cache, the rest re-run, "
                               "and the journal keeps growing in place")
+    p_sweep.add_argument("--server", default=None, metavar="URL",
+                         help="run the sweep through a serve daemon "
+                              "(http://host:port or unix:///path.sock); "
+                              "falls back to local execution when the "
+                              "daemon is unreachable")
 
     p_worker = sub.add_parser(
         "worker",
@@ -566,6 +695,75 @@ def build_parser() -> argparse.ArgumentParser:
     p_worker.add_argument("--events", action="store_true",
                           help="journal this node's runtime events to "
                                "events/<node>.jsonl inside the queue")
+
+    p_serve = sub.add_parser(
+        "serve", parents=[obs_flags],
+        help="run the sweep-as-a-service daemon")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="TCP bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=None, metavar="PORT",
+                         help="TCP port to listen on (0 = ephemeral; "
+                              "omit for UDS-only)")
+    p_serve.add_argument("--uds", default=None, metavar="PATH",
+                         help="Unix-domain socket path to listen on")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="result-cache directory the daemon serves "
+                              "from (default $REPRO_CACHE_DIR or "
+                              "~/.cache/repro)")
+    p_serve.add_argument("--cache-layout", default="flat",
+                         choices=("flat", "sharded"),
+                         help="result-cache on-disk layout (default flat)")
+    p_serve.add_argument("--backend", default="auto",
+                         choices=list(BACKENDS),
+                         help="executor backend for cold batches "
+                              "(default auto)")
+    p_serve.add_argument("--jobs", type=int, default=1,
+                         help="worker processes per cold batch (default 1)")
+    p_serve.add_argument("--batch-window", type=float, default=0.02,
+                         metavar="SECONDS",
+                         help="how long cold units wait to batch up "
+                              "(default 0.02)")
+    p_serve.add_argument("--max-batch", type=int, default=16, metavar="N",
+                         help="max units per dispatched plan (default 16)")
+    p_serve.add_argument("--max-inflight", type=int, default=64,
+                         metavar="N",
+                         help="admission bound on in-flight simulation "
+                              "units (default 64)")
+    p_serve.add_argument("--client-rate", type=float, default=4.0,
+                         metavar="PER_SEC",
+                         help="per-client cold-unit token refill rate "
+                              "(default 4/s)")
+    p_serve.add_argument("--client-burst", type=float, default=16.0,
+                         metavar="N",
+                         help="per-client token-bucket burst (default 16)")
+    p_serve.add_argument("--manifest", default=None, metavar="PATH",
+                         help="journal served outcomes to this JSON-lines "
+                              "file")
+    p_serve.add_argument("--retries", type=int, default=None, metavar="N",
+                         help="attempts per workload (default 3)")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-workload wall-clock limit "
+                              "(default: none)")
+
+    p_submit = sub.add_parser(
+        "submit", help="run one workload through a serve daemon")
+    p_submit.add_argument("graph")
+    p_submit.add_argument("app")
+    p_submit.add_argument("--server", required=True, metavar="URL",
+                          help="daemon endpoint (http://host:port or "
+                               "unix:///path.sock)")
+    p_submit.add_argument("--configs", help="comma-separated codes (e.g. "
+                                            "TG0,SGR,SDR)")
+    p_submit.add_argument("--iters", type=int, default=None,
+                          help="cap simulated iterations")
+    p_submit.add_argument("--client", default=None, metavar="NAME",
+                          help="client id for admission-control fairness "
+                               "(default: anonymous)")
+    p_submit.add_argument("--max-wait", type=float, default=60.0,
+                          metavar="SECONDS",
+                          help="how long to keep retrying admission "
+                               "rejections (default 60)")
     return parser
 
 
@@ -576,6 +774,8 @@ _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "worker": _cmd_worker,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

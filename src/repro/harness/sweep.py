@@ -36,8 +36,8 @@ from ..sim.config import DEFAULT_SYSTEM, SystemConfig
 from ..taxonomy import profile_graph, profile_workload
 from .runner import WorkloadResult
 
-__all__ = ["SweepRow", "SweepResult", "run_sweep", "APPS", "PAPER_APPS",
-           "GRAPHS", "is_dynamic_app"]
+__all__ = ["SweepRow", "SweepResult", "run_sweep", "aggregate_sweep",
+           "APPS", "PAPER_APPS", "GRAPHS", "is_dynamic_app"]
 
 #: The full application matrix, derived from the kernel registry —
 #: registering a new kernel automatically adds it to sweeps and the CLI.
@@ -259,6 +259,32 @@ def run_sweep(
     )
     _obs.emit("sweep.phase", name="execute", boundary="end")
 
+    return aggregate_sweep(plan, workloads, graphs, apps,
+                           scales=scales, base_system=base_system)
+
+
+def aggregate_sweep(
+    plan: Iterable,
+    workloads: Iterable,
+    graphs: Iterable[str],
+    apps: Iterable[str],
+    scales: dict[str, int] | None = None,
+    base_system: SystemConfig = DEFAULT_SYSTEM,
+) -> SweepResult:
+    """Fold plan-ordered workload outcomes into a :class:`SweepResult`.
+
+    ``plan`` and ``workloads`` are parallel sequences in ``graphs`` x
+    ``apps`` order — exactly what :func:`repro.runtime.run_plan` returns
+    for :meth:`ExecutionPlan.for_sweep`, but also what a serve client
+    reassembles from result envelopes (``repro sweep --server``), which
+    is why this lives apart from :func:`run_sweep`: aggregation must not
+    care where the simulations ran.  Failures
+    (:class:`~repro.runtime.UnitFailure`) land in ``failures`` and leave
+    no row.
+    """
+    graphs = tuple(graphs)
+    apps = tuple(apps)
+    scales = scales or DEFAULT_SIM_SCALE
     _obs.emit("sweep.phase", name="aggregate", boundary="begin")
     result = SweepResult()
     units = iter(zip(plan, workloads))

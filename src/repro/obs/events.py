@@ -31,6 +31,7 @@ EVENT_KINDS = (
     "unit.failed",        # digest, label, attempts, cause, message
     "unit.overrun",       # digest, label, elapsed, budget, attempt
     "unit.cached",        # digest, label
+    "unit.coalesced",     # digest, label (duplicate digest within one plan)
     "unit.quarantined",   # digest, label, attempts
     # Worker-pool health.
     "worker.crash",       # digest, label, attempt
@@ -62,6 +63,17 @@ EVENT_KINDS = (
     "workload.simulated",  # app, graph, ops, rounds, configs
     "sim.batch",           # kernel, rounds, mean_width, max_width,
                            #   scalar_fallback (batched engine occupancy)
+    # Serve daemon (repro.serve): request lifecycle and admission.
+    "serve.started",      # endpoints (list of listening addresses)
+    "serve.stopped",      # requests, uptime
+    "serve.request",      # digest, label, client
+    "serve.hit",          # digest, label (answered from the result cache)
+    "serve.miss",         # digest, label (needs simulation)
+    "serve.coalesced",    # digest, label (joined an in-flight request)
+    "serve.admitted",     # digest, label, client, inflight
+    "serve.rejected",     # digest, label, client,
+                          #   reason ('capacity' | 'rate'), retry_after
+    "serve.batch",        # units, queue_depth (one dispatch to the pool)
 )
 
 _KIND_SET = frozenset(EVENT_KINDS)

@@ -248,15 +248,28 @@ class _Unit:
     """Book-keeping for one spec moving through the parallel manager."""
 
     __slots__ = ("position", "spec", "attempt", "first_started",
-                 "deadline", "pool")
+                 "attempt_started", "deadline", "pool")
 
     def __init__(self, position: int, spec: WorkloadSpec) -> None:
         self.position = position
         self.spec = spec
         self.attempt = 1
         self.first_started: float | None = None
+        self.attempt_started: float | None = None
         self.deadline: float | None = None
         self.pool: object | None = None
+
+    def elapsed(self, now: float) -> float:
+        """Monotonic seconds since this unit first started.
+
+        Falls back to the latest attempt's start, then to 0.0, for a
+        unit that somehow settles before any submission stamped it —
+        ``now - 0.0`` would otherwise read as time since the monotonic
+        epoch (hours of bogus ``elapsed`` in failure records).
+        """
+        started = (self.first_started if self.first_started is not None
+                   else self.attempt_started)
+        return now - started if started is not None else 0.0
 
 
 class ParallelExecutor(Executor):
@@ -299,6 +312,7 @@ class ParallelExecutor(Executor):
         def submit(unit: _Unit) -> None:
             nonlocal pool
             now = time.monotonic()
+            unit.attempt_started = now
             if unit.first_started is None:
                 unit.first_started = now
             delay = (policy.delay_for(unit.attempt - 1, unit.spec.digest())
@@ -342,10 +356,9 @@ class ParallelExecutor(Executor):
                 if _obs.enabled:
                     _obs.metrics.counter("units.retried").inc()
                 return None
-            elapsed = time.monotonic() - (unit.first_started or 0.0)
             failure = UnitFailure.from_exception(
                 unit.spec, exception, attempts=unit.attempt,
-                elapsed=elapsed)
+                elapsed=unit.elapsed(time.monotonic()))
             _obs.emit("unit.failed", digest=failure.digest,
                       label=failure.label, attempts=failure.attempts,
                       cause=failure.kind, message=failure.message)
@@ -392,8 +405,7 @@ class ParallelExecutor(Executor):
                                   digest=unit.spec.digest(),
                                   label=unit.spec.label,
                                   attempt=unit.attempt,
-                                  elapsed=time.monotonic()
-                                  - (unit.first_started or 0.0))
+                                  elapsed=unit.elapsed(time.monotonic()))
                         if _obs.enabled:
                             _obs.metrics.counter("units.finished").inc()
                         ready.append((unit.position,
@@ -587,12 +599,42 @@ def run_plan(
                 progress(f"{spec.label} (cached)")
         else:
             pending.append(index)
+    cache_hits = len(units) - len(pending)
+
+    # Coalesce duplicate digests within the cold batch: the first
+    # occurrence simulates, later occurrences share its outcome object.
+    # A sweep grid (or a --resume replay) can legitimately contain the
+    # same spec twice; simulating it twice wastes a slot and races both
+    # writers at the same cache path.
+    primary_at: dict[str, int] = {}
+    followers: dict[int, list[int]] = {}
+    deduped: list[int] = []
+    for index in pending:
+        spec = units[index]
+        digest = spec.digest()
+        position = primary_at.get(digest)
+        if position is None:
+            primary_at[digest] = len(deduped)
+            deduped.append(index)
+        else:
+            followers.setdefault(position, []).append(index)
+            _obs.emit("unit.coalesced", digest=digest, label=spec.label)
+            if _obs.enabled:
+                _obs.metrics.counter("units.coalesced").inc()
+    pending = deduped
 
     if pending:
         if executor is None:
             executor = make_executor(jobs, policy=policy, injector=injector)
         batch = [units[index] for index in pending]
         stream = executor.run(batch)
+
+        def settle_followers(position: int, outcome) -> None:
+            for dup_index in followers.get(position, ()):
+                results[dup_index] = outcome
+                if progress is not None:
+                    progress(f"{units[dup_index].label} (coalesced)")
+
         try:
             for position, outcome in stream:
                 index = pending[position]
@@ -606,6 +648,7 @@ def run_plan(
                             message=outcome.message)
                     if progress is not None:
                         progress(f"{spec.label} (failed: {outcome.kind})")
+                    settle_followers(position, outcome)
                     if not keep_going:
                         raise UnitExecutionError(outcome)
                     continue
@@ -634,6 +677,7 @@ def run_plan(
                         manifest.record(spec.digest(), spec.label, "ok")
                 if progress is not None:
                     progress(spec.label)
+                settle_followers(position, outcome)
         finally:
             # Closing the stream tears the executor down (cancelling
             # futures and reaping workers) on fail-fast or interrupt.
@@ -644,5 +688,5 @@ def run_plan(
     failed = sum(1 for outcome in results
                  if isinstance(outcome, UnitFailure))
     _obs.emit("plan.finished", ok=len(units) - failed, failed=failed,
-              cached=len(units) - len(pending))
+              cached=cache_hits)
     return results  # type: ignore[return-value]

@@ -59,6 +59,27 @@ __all__ = ["WorkQueue", "DEFAULT_LEASE_TTL"]
 DEFAULT_LEASE_TTL = 30.0
 
 
+def _read_boot_id() -> str:
+    """This boot's identity, or '' when the platform has none.
+
+    Heartbeat expiry wants ``time.monotonic()`` — a wall clock can step
+    (NTP correction, suspend/resume) and mass-expire every healthy lease
+    or immortalize a dead one.  But monotonic readings are only
+    comparable within one boot of one machine, so each lease records the
+    boot it was stamped on: a reclaimer on the same boot compares
+    monotonically, anyone else (another machine sharing the filesystem,
+    or after a reboot) falls back to wall clock, which is the best
+    cross-boot information available.
+    """
+    try:
+        return Path("/proc/sys/kernel/random/boot_id").read_text().strip()
+    except OSError:
+        return ""
+
+
+_BOOT_ID = _read_boot_id()
+
+
 def _write_json_atomic(path: Path, payload: dict) -> None:
     """Replace ``path`` with ``payload`` atomically (tmp + rename)."""
     fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -224,11 +245,16 @@ class WorkQueue:
             spec = WorkloadSpec.from_dict(record["spec"])
             attempt = int(record.get("attempts", 0)) + 1
             lease_path = self.leases_dir / f"{digest}.json"
+            # Both clocks are stamped: wall for humans and cross-boot
+            # readers, monotonic (+ boot identity) so same-boot expiry
+            # math survives wall-clock steps.
             payload = {
                 "digest": digest,
                 "node": node,
                 "attempt": attempt,
                 "heartbeat": time.time(),
+                "heartbeat_mono": time.monotonic(),
+                "boot": _BOOT_ID,
                 "ttl": self.lease_ttl,
             }
             if lease_path.exists():
@@ -282,6 +308,8 @@ class WorkQueue:
         if self.outcome(digest) is not None:
             return False
         lease["heartbeat"] = time.time()
+        lease["heartbeat_mono"] = time.monotonic()
+        lease["boot"] = _BOOT_ID
         _write_json_atomic(lease_path, lease)
         _obs.emit("lease.renew", digest=digest, node=node)
         return True
@@ -295,7 +323,8 @@ class WorkQueue:
             _obs.emit("lease.release", digest=digest, node=node)
 
     def reclaim_expired(self, dead_nodes: Sequence[str] = (),
-                        now: float | None = None) -> list[dict]:
+                        now: float | None = None,
+                        now_mono: float | None = None) -> list[dict]:
         """Expire stale leases (the coordinator's work-stealing sweep).
 
         A lease expires when its heartbeat is older than its TTL, or
@@ -305,8 +334,27 @@ class WorkQueue:
         advances to the lease's attempt) and records the late holder so
         the next claim is attributed as a steal.  Returns the expired
         leases.
+
+        Heartbeat age is measured on the **monotonic** clock whenever
+        the lease was stamped on this same boot (see
+        :func:`_read_boot_id`): a wall-clock step — NTP jump,
+        suspend/resume — must neither mass-expire healthy leases nor
+        immortalize dead ones.  Leases from another boot or machine
+        fall back to wall-clock age.  ``now`` fast-forwards *elapsed
+        time* for tests: passing only ``now`` shifts both clocks by the
+        same delta; passing ``now_mono`` as well decouples them, which
+        is how the clock-jump regression tests simulate a step.
         """
-        now = time.time() if now is None else now
+        wall = time.time() if now is None else now
+        if now_mono is not None:
+            mono = now_mono
+        elif now is None:
+            mono = time.monotonic()
+        else:
+            # `now` alone means "pretend it is later", not "the wall
+            # clock stepped": advance the monotonic clock by the same
+            # amount so TTL fast-forwarding keeps working.
+            mono = time.monotonic() + (now - time.time())
         dead = set(dead_nodes)
         expired = []
         for lease_path in sorted(self.leases_dir.glob("*.json")):
@@ -319,10 +367,14 @@ class WorkQueue:
                 # Completed; the marker, not the lease, is authoritative.
                 lease_path.unlink(missing_ok=True)
                 continue
+            if _BOOT_ID and lease.get("boot") == _BOOT_ID \
+                    and "heartbeat_mono" in lease:
+                age = mono - float(lease["heartbeat_mono"])
+            else:
+                age = wall - float(lease.get("heartbeat", 0.0))
             if lease.get("node") in dead:
                 reason = "node-death"
-            elif now - float(lease.get("heartbeat", 0.0)) > float(
-                    lease.get("ttl", self.lease_ttl)):
+            elif age > float(lease.get("ttl", self.lease_ttl)):
                 reason = "ttl"
             else:
                 continue

@@ -1,0 +1,136 @@
+"""Admission control for the serve daemon: capacity bounds and fairness.
+
+Two independent gates stand between a cold request and the simulation
+pool, so a flood of expensive work degrades into fast, honest rejections
+instead of an unbounded queue:
+
+* A **capacity bound** — at most ``max_inflight_units`` simulation units
+  may be queued or running at once.  Cache hits never consume capacity
+  (they are served straight off disk), so warm traffic keeps flowing
+  while the pool is saturated by a cold sweep.
+* A **per-client token bucket** — each client identity accrues
+  ``client_rate`` simulation tokens per second up to ``client_burst``,
+  so one client cannot monopolize the pool by submitting cold work
+  faster than it drains.  Clients the server has never seen start with a
+  full bucket (bursts are fine; sustained floods are not).
+
+Both gates reject with a ``retry_after`` hint rather than blocking: the
+event loop must never wait on admission, and a client that backs off for
+the hinted interval will usually get in.  Rejections are *cheap by
+design* — one dict lookup and a couple of float ops — which is what
+makes them safe to hand out at high rates.
+
+Time is injected (``clock``) so tests drive the bucket deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["TokenBucket", "AdmissionController", "Admission"]
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/s, capacity ``burst``."""
+
+    __slots__ = ("rate", "burst", "tokens", "stamp", "clock")
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst <= 0:
+            raise ValueError("burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst  # new clients start full: bursts are fine
+        self.clock = clock
+        self.stamp = clock()
+
+    def _refill(self) -> None:
+        now = self.clock()
+        self.tokens = min(self.burst,
+                          self.tokens + (now - self.stamp) * self.rate)
+        self.stamp = now
+
+    def try_take(self, cost: float = 1.0) -> tuple[bool, float]:
+        """Take ``cost`` tokens if available.
+
+        Returns ``(True, 0.0)`` on success, or ``(False, wait)`` where
+        ``wait`` is the seconds until the bucket will hold ``cost``
+        tokens again — the rejection's ``retry_after`` hint.
+        """
+        self._refill()
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True, 0.0
+        return False, (cost - self.tokens) / self.rate
+
+
+class Admission:
+    """One admission decision: admitted, or rejected with a hint."""
+
+    __slots__ = ("admitted", "reason", "retry_after")
+
+    def __init__(self, admitted: bool, reason: str | None = None,
+                 retry_after: float = 0.0) -> None:
+        self.admitted = admitted
+        self.reason = reason  # 'capacity' | 'rate' when rejected
+        self.retry_after = retry_after
+
+    def __bool__(self) -> bool:  # ``if admission:`` reads naturally
+        return self.admitted
+
+
+class AdmissionController:
+    """Capacity bound + per-client token buckets (see module docstring).
+
+    Single-threaded by contract: the serve daemon calls it only from the
+    event loop, so admitting and releasing need no locking.  ``release``
+    must be called once per admitted unit when its simulation settles
+    (success *or* failure), or capacity leaks.
+    """
+
+    def __init__(self, max_inflight_units: int = 64,
+                 client_rate: float = 4.0,
+                 client_burst: float = 16.0,
+                 capacity_retry_after: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_inflight_units < 1:
+            raise ValueError("max_inflight_units must be >= 1")
+        self.max_inflight_units = max_inflight_units
+        self.client_rate = client_rate
+        self.client_burst = client_burst
+        self.capacity_retry_after = capacity_retry_after
+        self.clock = clock
+        self.inflight_units = 0
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def bucket_for(self, client: str) -> TokenBucket:
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(self.client_rate, self.client_burst,
+                                 clock=self.clock)
+            self._buckets[client] = bucket
+        return bucket
+
+    def try_admit(self, client: str) -> Admission:
+        """Admit one simulation unit for ``client``, or say when to retry.
+
+        The capacity check runs first so a saturated pool rejects
+        without charging the client's bucket — the client did nothing
+        wrong; the server is just full.
+        """
+        if self.inflight_units >= self.max_inflight_units:
+            return Admission(False, reason="capacity",
+                             retry_after=self.capacity_retry_after)
+        taken, wait = self.bucket_for(client).try_take(1.0)
+        if not taken:
+            return Admission(False, reason="rate", retry_after=wait)
+        self.inflight_units += 1
+        return Admission(True)
+
+    def release(self, units: int = 1) -> None:
+        """Return ``units`` of capacity once their simulations settled."""
+        self.inflight_units = max(0, self.inflight_units - units)

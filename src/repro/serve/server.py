@@ -1,0 +1,635 @@
+"""Sweep-as-a-service: the asyncio ``repro.serve`` daemon.
+
+A long-running front-end over the runtime layer (specs, digests,
+executors, result cache): clients POST serialized
+:class:`~repro.runtime.WorkloadSpec` payloads over HTTP — plain TCP or a
+Unix-domain socket — and get back the same ``WorkloadResult`` dicts the
+cache stores.  The daemon's whole job is making repeated queries cheap
+and overload boring:
+
+* **Normalization** — every request becomes a spec *digest*, the one key
+  the entire runtime already shares (cache entries, manifests, leases).
+* **Cache fast path** — a digest with an on-disk entry is answered by
+  reading that entry's raw JSON straight back out; no simulation pool,
+  no object reconstruction, microseconds not minutes.
+* **In-flight dedup** — cold requests register a future keyed by digest;
+  late arrivals for the same digest *coalesce* onto that future instead
+  of simulating twice.  One simulation, N answers.
+* **Batched dispatch** — cold units queue briefly (``batch_window``) and
+  leave as one :class:`~repro.runtime.ExecutionPlan` run by the existing
+  :func:`~repro.runtime.backend.make_backend` executors on a worker
+  thread, so the event loop never blocks on simulation.
+* **Admission control** — a capacity bound on in-flight simulation units
+  plus per-client token buckets (:mod:`repro.serve.admission`); cold
+  work beyond either budget is rejected *fast* with a ``retry_after``
+  hint (HTTP 429 for single submits) while cache hits keep flowing.
+
+Failure semantics: a unit the backend fails or quarantines resolves its
+future with the structured :class:`~repro.runtime.UnitFailure` — every
+coalesced waiter receives the same failure envelope, and the digest
+leaves the in-flight table so a later request may retry it cold.
+
+Everything observable goes through :mod:`repro.obs` (``serve.*`` events,
+queue-depth gauges) and a plain ``/stats`` counter dict that works with
+observability off.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..obs import OBSERVER as _obs
+from ..runtime import (
+    RESULT_SCHEMA_VERSION,
+    ExecutionPlan,
+    ResultCache,
+    RetryPolicy,
+    RunManifest,
+    ShardedResultCache,
+    UnitFailure,
+    WorkloadSpec,
+    make_backend,
+    run_plan,
+)
+
+__all__ = ["ServeConfig", "ReproServer", "ThreadedServer", "run_server"]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+@dataclass
+class ServeConfig:
+    """Everything the daemon needs, as one value (CLI flags map 1:1)."""
+
+    host: str = "127.0.0.1"
+    port: int | None = None          # None: no TCP listener; 0: ephemeral
+    uds: str | Path | None = None    # None: no Unix-socket listener
+    cache_dir: str | Path | None = None
+    cache_layout: str = "flat"       # 'flat' | 'sharded'
+    backend: str = "auto"            # make_backend name for cold batches
+    jobs: int = 1
+    batch_window: float = 0.02       # seconds cold units wait to batch up
+    max_batch: int = 16
+    dispatch_workers: int = 2        # concurrent cold batches in flight
+    max_inflight_units: int = 64
+    client_rate: float = 4.0         # cold-unit tokens per second per client
+    client_burst: float = 16.0
+    capacity_retry_after: float = 1.0
+    manifest: str | Path | None = None
+    policy: RetryPolicy | None = None
+    default_client: str = "anon"
+
+    def __post_init__(self) -> None:
+        if self.port is None and self.uds is None:
+            raise ValueError("serve needs a TCP port and/or a UDS path")
+        if self.cache_layout not in ("flat", "sharded"):
+            raise ValueError("cache_layout must be 'flat' or 'sharded'")
+        if self.batch_window < 0:
+            raise ValueError("batch_window must be >= 0")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+
+    def make_cache(self) -> ResultCache:
+        cls = (ShardedResultCache if self.cache_layout == "sharded"
+               else ResultCache)
+        return cls(self.cache_dir)
+
+
+class _BadRequest(Exception):
+    """Malformed HTTP or an unusable spec payload (becomes a 400)."""
+
+
+class ReproServer:
+    """The daemon: listeners, dedup table, batcher, admission, stats."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        from .admission import AdmissionController
+
+        self.config = config
+        self.cache = config.make_cache()
+        self.admission = AdmissionController(
+            max_inflight_units=config.max_inflight_units,
+            client_rate=config.client_rate,
+            client_burst=config.client_burst,
+            capacity_retry_after=config.capacity_retry_after,
+        )
+        self._manifest = (RunManifest(config.manifest)
+                          if config.manifest is not None else None)
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._queue: asyncio.Queue | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._servers: list[asyncio.AbstractServer] = []
+        self._batcher: asyncio.Task | None = None
+        self._dispatch_tasks: set[asyncio.Task] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._pool: ThreadPoolExecutor | None = None
+        self._started_at: float | None = None
+        self.endpoints: list[str] = []
+        self.stats = {
+            "requests": 0,
+            "hits": 0,
+            "misses": 0,
+            "coalesced": 0,
+            "admitted": 0,
+            "rejected": 0,
+            "simulated": 0,
+            "failed": 0,
+            "batches": 0,
+        }
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> list[str]:
+        """Open the listeners and the batcher; returns the endpoints."""
+        self._queue = asyncio.Queue()
+        self._stop_event = asyncio.Event()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.dispatch_workers,
+            thread_name_prefix="repro-serve")
+        self.endpoints = []
+        if self.config.uds is not None:
+            path = Path(self.config.uds)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.unlink(missing_ok=True)  # stale socket from a past run
+            server = await asyncio.start_unix_server(
+                self._handle_connection, path=str(path))
+            self._servers.append(server)
+            self.endpoints.append(f"unix://{path}")
+        if self.config.port is not None:
+            server = await asyncio.start_server(
+                self._handle_connection, host=self.config.host,
+                port=self.config.port)
+            self._servers.append(server)
+            bound = server.sockets[0].getsockname()
+            self.endpoints.append(f"http://{bound[0]}:{bound[1]}")
+        self._batcher = asyncio.create_task(self._batch_loop())
+        self._started_at = time.monotonic()
+        _obs.emit("serve.started", endpoints=list(self.endpoints))
+        return self.endpoints
+
+    def request_stop(self) -> None:
+        """Ask the daemon to stop (safe from any event-loop callback)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def serve_until_stopped(self) -> None:
+        """Block until :meth:`request_stop`, then tear down cleanly."""
+        assert self._stop_event is not None
+        await self._stop_event.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Close listeners, drain in-flight batches, release the pool."""
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()
+        if self._batcher is not None:
+            assert self._queue is not None
+            await self._queue.put(None)  # batcher stop sentinel
+            await self._batcher
+            self._batcher = None
+        if self._dispatch_tasks:
+            await asyncio.gather(*self._dispatch_tasks,
+                                 return_exceptions=True)
+        # Idle keep-alive connections sit in readline forever; cancel
+        # them (after the batches drained, so no response is cut short).
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks,
+                                 return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        uptime = (time.monotonic() - self._started_at
+                  if self._started_at is not None else 0.0)
+        _obs.emit("serve.stopped", requests=self.stats["requests"],
+                  uptime=uptime)
+        if self.config.uds is not None:
+            Path(self.config.uds).unlink(missing_ok=True)
+
+    # -- request handling -------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body = request
+                close = headers.get("connection", "").lower() == "close"
+                try:
+                    status, payload, extra = await self._route(
+                        method, target, headers, body)
+                except _BadRequest as exc:
+                    status, payload, extra = 400, {"error": str(exc)}, ()
+                except Exception as exc:  # never kill the connection loop
+                    status, payload, extra = (
+                        500, {"error": f"{type(exc).__name__}: {exc}"}, ())
+                writer.write(_render_response(status, payload, extra,
+                                              keep_alive=not close))
+                await writer.drain()
+                if close:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError,
+                BrokenPipeError):
+            pass  # client went away mid-request; nothing to answer
+        except asyncio.CancelledError:
+            pass  # server shutdown cancels idle keep-alive connections
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    asyncio.CancelledError):
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> tuple[str, str, dict, bytes] | None:
+        """Parse one HTTP/1.1 request; None on a clean EOF."""
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _BadRequest(f"malformed request line {line!r}")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length") or 0)
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    async def _route(self, method: str, target: str, headers: dict,
+                     body: bytes) -> tuple[int, dict, tuple]:
+        target = target.split("?", 1)[0]
+        if target == "/healthz":
+            if method != "GET":
+                return 405, {"error": "GET only"}, ()
+            return 200, {"status": "ok"}, ()
+        if target == "/stats":
+            if method != "GET":
+                return 405, {"error": "GET only"}, ()
+            return 200, self._stats_payload(), ()
+        if target == "/shutdown":
+            if method != "POST":
+                return 405, {"error": "POST only"}, ()
+            loop = asyncio.get_running_loop()
+            loop.call_soon(self.request_stop)
+            return 200, {"status": "stopping"}, ()
+        if target == "/submit":
+            if method != "POST":
+                return 405, {"error": "POST only"}, ()
+            return await self._handle_submit(headers, body)
+        return 404, {"error": f"unknown path {target!r}"}, ()
+
+    def _parse_submit(self, headers: dict,
+                      body: bytes) -> tuple[list[WorkloadSpec], bool, str]:
+        """Decode a /submit body into specs + (is_single, client_id)."""
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise _BadRequest(f"body is not JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _BadRequest("body must be a JSON object")
+        client = str(payload.get("client")
+                     or headers.get("x-repro-client")
+                     or self.config.default_client)
+        if "spec" in payload:
+            raw_specs, single = [payload["spec"]], True
+        elif "specs" in payload:
+            raw_specs, single = payload["specs"], False
+            if not isinstance(raw_specs, list) or not raw_specs:
+                raise _BadRequest("'specs' must be a non-empty list")
+        else:
+            raise _BadRequest("body needs 'spec' or 'specs'")
+        specs = []
+        for raw in raw_specs:
+            try:
+                specs.append(WorkloadSpec.from_dict(raw))
+            except Exception as exc:
+                raise _BadRequest(f"bad workload spec: {exc}") from None
+        return specs, single, client
+
+    async def _handle_submit(self, headers: dict,
+                             body: bytes) -> tuple[int, dict, tuple]:
+        specs, single, client = self._parse_submit(headers, body)
+        envelopes = await asyncio.gather(
+            *(self._handle_spec(spec, client) for spec in specs))
+        if single:
+            envelope = envelopes[0]
+            if envelope["status"] == "rejected":
+                retry_after = envelope["retry_after"]
+                return 429, envelope, (
+                    ("Retry-After", f"{max(retry_after, 0.0):.3f}"),)
+            return 200, envelope, ()
+        return 200, {"outcomes": list(envelopes)}, ()
+
+    async def _handle_spec(self, spec: WorkloadSpec, client: str) -> dict:
+        """One request's whole journey: dedup, cache, admission, batch."""
+        digest = spec.digest()
+        self.stats["requests"] += 1
+        _obs.emit("serve.request", digest=digest, label=spec.label,
+                  client=client)
+        future = self._inflight.get(digest)
+        if future is not None:
+            # Someone is already simulating this digest: join them.
+            self.stats["coalesced"] += 1
+            _obs.emit("serve.coalesced", digest=digest, label=spec.label)
+            if _obs.enabled:
+                _obs.metrics.counter("serve.coalesced").inc()
+            outcome = await asyncio.shield(future)
+            return self._envelope(spec, digest, outcome, "coalesced")
+        raw = self._cached_payload(digest)
+        if raw is not None:
+            self.stats["hits"] += 1
+            _obs.emit("serve.hit", digest=digest, label=spec.label)
+            if _obs.enabled:
+                _obs.metrics.counter("serve.hits").inc()
+            return {"digest": digest, "label": spec.label, "status": "ok",
+                    "source": "cache", "result": raw}
+        self.stats["misses"] += 1
+        _obs.emit("serve.miss", digest=digest, label=spec.label)
+        if _obs.enabled:
+            _obs.metrics.counter("serve.misses").inc()
+        admission = self.admission.try_admit(client)
+        if not admission:
+            self.stats["rejected"] += 1
+            _obs.emit("serve.rejected", digest=digest, label=spec.label,
+                      client=client, reason=admission.reason,
+                      retry_after=admission.retry_after)
+            if _obs.enabled:
+                _obs.metrics.counter("serve.rejected").inc()
+            return {"digest": digest, "label": spec.label,
+                    "status": "rejected", "reason": admission.reason,
+                    "retry_after": admission.retry_after}
+        self.stats["admitted"] += 1
+        _obs.emit("serve.admitted", digest=digest, label=spec.label,
+                  client=client,
+                  inflight=self.admission.inflight_units)
+        if _obs.enabled:
+            _obs.metrics.counter("serve.admitted").inc()
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._inflight[digest] = future
+        assert self._queue is not None
+        await self._queue.put((spec, future))
+        self._update_gauges()
+        outcome = await asyncio.shield(future)
+        return self._envelope(spec, digest, outcome, "simulated")
+
+    def _cached_payload(self, digest: str) -> dict | None:
+        """The raw cached result dict for ``digest``, or None.
+
+        The warm fast path: the cache entry already holds the exact JSON
+        the response needs, so a hit is one file read and one parse — no
+        ``WorkloadResult`` reconstruction, no simulation pool.  Anything
+        unreadable is treated as a miss; the simulation path's
+        ``cache.get`` self-heals corrupt entries.
+        """
+        path = self.cache.entry_path(digest)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if (not isinstance(payload, dict)
+                or payload.get("schema") != RESULT_SCHEMA_VERSION
+                or "result" not in payload):
+            return None
+        return payload["result"]
+
+    @staticmethod
+    def _envelope(spec: WorkloadSpec, digest: str, outcome,
+                  source: str) -> dict:
+        if isinstance(outcome, UnitFailure):
+            return {"digest": digest, "label": spec.label,
+                    "status": "failed", "source": source,
+                    "failure": outcome.to_dict()}
+        return {"digest": digest, "label": spec.label, "status": "ok",
+                "source": source, "result": outcome.to_dict()}
+
+    # -- cold-path batching ----------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        """Collect cold units into plans; dispatch each off the loop."""
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        stopping = False
+        while not stopping:
+            item = await self._queue.get()
+            if item is None:
+                break
+            batch = [item]
+            deadline = loop.time() + self.config.batch_window
+            while len(batch) < self.config.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = await asyncio.wait_for(self._queue.get(),
+                                                 remaining)
+                except asyncio.TimeoutError:
+                    break
+                if nxt is None:
+                    stopping = True
+                    break
+                batch.append(nxt)
+            self.stats["batches"] += 1
+            _obs.emit("serve.batch", units=len(batch),
+                      queue_depth=self._queue.qsize())
+            task = asyncio.create_task(self._dispatch(batch))
+            self._dispatch_tasks.add(task)
+            task.add_done_callback(self._dispatch_tasks.discard)
+
+    async def _dispatch(self, batch: list) -> None:
+        """Run one batch on a worker thread; settle every future."""
+        specs = [spec for spec, _future in batch]
+        loop = asyncio.get_running_loop()
+        try:
+            outcomes = await loop.run_in_executor(
+                self._pool, self._run_batch, specs)
+            error: BaseException | None = None
+        except BaseException as exc:
+            outcomes, error = None, exc
+        self.admission.release(len(batch))
+        for index, (spec, future) in enumerate(batch):
+            self._inflight.pop(spec.digest(), None)
+            if future.done():  # a cancelled shutdown race; nothing to do
+                continue
+            if error is not None:
+                future.set_exception(
+                    RuntimeError(f"batch dispatch failed: {error}"))
+            else:
+                outcome = outcomes[index]
+                key = ("failed" if isinstance(outcome, UnitFailure)
+                       else "simulated")
+                self.stats[key] += 1
+                future.set_result(outcome)
+        self._update_gauges()
+
+    def _run_batch(self, specs: list[WorkloadSpec]) -> list:
+        """Worker-thread body: one ExecutionPlan through run_plan.
+
+        ``run_plan`` re-checks the cache per unit (a digest another
+        batch finished moments ago restores instead of re-simulating)
+        and journals to the manifest when configured; its in-plan digest
+        dedup means even a pathological batch of equal specs simulates
+        once.
+        """
+        plan = ExecutionPlan(units=tuple(specs))
+        executor = make_backend(self.config.backend, jobs=self.config.jobs,
+                                policy=self.config.policy)
+        return run_plan(plan, cache=self.cache, executor=executor,
+                        policy=self.config.policy, keep_going=True,
+                        manifest=self._manifest)
+
+    # -- introspection ----------------------------------------------------
+
+    def _update_gauges(self) -> None:
+        if not _obs.enabled:
+            return
+        _obs.metrics.gauge("serve.inflight_units").set(
+            self.admission.inflight_units)
+        if self._queue is not None:
+            _obs.metrics.gauge("serve.queue_depth").set(
+                self._queue.qsize())
+
+    def _stats_payload(self) -> dict:
+        dropped = (sum(sink.dropped for sink in _obs.sinks)
+                   if _obs.enabled else 0)
+        return {
+            **self.stats,
+            "inflight_units": self.admission.inflight_units,
+            "inflight_digests": len(self._inflight),
+            "queue_depth": (self._queue.qsize()
+                            if self._queue is not None else 0),
+            "cache": {"hits": self.cache.hits,
+                      "misses": self.cache.misses,
+                      "stores": self.cache.stores,
+                      "entries": len(self.cache)},
+            "obs_dropped": dropped,
+            "uptime": (time.monotonic() - self._started_at
+                       if self._started_at is not None else 0.0),
+            "endpoints": list(self.endpoints),
+        }
+
+
+def _render_response(status: int, payload: dict, extra: tuple = (),
+                     keep_alive: bool = True) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    head = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}"]
+    head.extend(f"{name}: {value}" for name, value in extra)
+    head.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+
+class ThreadedServer:
+    """A ReproServer on its own thread + event loop (tests, loadgen).
+
+    ``start`` blocks until the listeners are open and returns the
+    endpoints; ``stop`` requests shutdown and joins the thread.  Any
+    startup failure re-raises in the caller.
+    """
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.server: ReproServer | None = None
+        self.endpoints: list[str] = []
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+
+    def start(self) -> list[str]:
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve")
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("serve thread failed to start in time")
+        if self._error is not None:
+            raise self._error
+        return self.endpoints
+
+    def _run(self) -> None:
+        asyncio.run(self._amain())
+
+    async def _amain(self) -> None:
+        self.server = ReproServer(self.config)
+        self._loop = asyncio.get_running_loop()
+        try:
+            self.endpoints = await self.server.start()
+        except BaseException as exc:
+            self._error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self.server.serve_until_stopped()
+
+    def stop(self) -> None:
+        if self._loop is not None and self.server is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.server.request_stop)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ThreadedServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def run_server(config: ServeConfig,
+               announce=print) -> None:
+    """Run the daemon in this process until SIGINT/SIGTERM (CLI body)."""
+    import signal
+
+    async def _main() -> None:
+        server = ReproServer(config)
+        endpoints = await server.start()
+        for endpoint in endpoints:
+            announce(f"serving on {endpoint}")
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_stop)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread or exotic platform
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass

@@ -442,6 +442,51 @@ class TestWorkQueue:
         with pytest.raises(KeyError):
             queue.spec_for("feedface")
 
+    def test_wall_clock_jump_forward_does_not_mass_expire(
+            self, queue, small_plan):
+        # Regression: heartbeats compared with time.time() meant a
+        # forward NTP step aged every live lease past its TTL at once.
+        # Same-boot expiry now runs on the monotonic stamps, so only
+        # the wall clock moving (now) with monotonic held still
+        # (now_mono) must leave healthy leases alone.
+        queue.seed(small_plan)
+        for node in ("a", "b", "c", "d"):
+            queue.claim(node)
+        expired = queue.reclaim_expired(now=time.time() + 3600.0,
+                                        now_mono=time.monotonic())
+        assert expired == []
+        assert queue.claim("e") is None  # all leases still held
+
+    def test_wall_clock_jump_backward_does_not_immortalize(
+            self, queue, small_plan):
+        # The mirror failure: a backward step made heartbeat ages
+        # negative forever, so a dead node's lease never expired.
+        queue.seed([small_plan[0]])
+        spec, _ = queue.claim("a")
+        expired = queue.reclaim_expired(now=time.time() - 3600.0,
+                                        now_mono=time.monotonic() + 31.0)
+        assert [lease["reason"] for lease in expired] == ["ttl"]
+        spec2, attempt2 = queue.claim("b")
+        assert spec2.digest() == spec.digest()
+        assert attempt2 == 2
+
+    def test_foreign_boot_lease_falls_back_to_wall_clock(
+            self, queue, small_plan):
+        # A lease stamped on another boot/machine has no comparable
+        # monotonic clock; its age must come from the wall heartbeat.
+        queue.seed([small_plan[0]])
+        spec, _ = queue.claim("a")
+        digest = spec.digest()
+        lease_path = queue.leases_dir / f"{digest}.json"
+        lease = json.loads(lease_path.read_text())
+        lease["boot"] = "not-this-boot"
+        lease_path.write_text(json.dumps(lease))
+        # Monotonic says fresh, but the foreign lease ages on the wall
+        # clock, which is past the TTL.
+        expired = queue.reclaim_expired(now=time.time() + 31.0,
+                                        now_mono=time.monotonic())
+        assert [entry["reason"] for entry in expired] == ["ttl"]
+
 
 # ---------------------------------------------------------------------------
 # Backend registry, plan resume arithmetic

@@ -217,6 +217,60 @@ class TestExecutors:
         with pytest.raises(ValueError):
             ParallelExecutor(0)
 
+    def test_unit_elapsed_falls_back_to_attempt_start(self, small_plan):
+        # Regression: a unit that settled before any submission stamped
+        # ``first_started`` read elapsed as ``now - 0.0`` — time since
+        # the monotonic epoch, i.e. machine uptime.
+        unit = executor_module._Unit(0, small_plan[0])
+        assert unit.elapsed(123.0) == 0.0
+        unit.attempt_started = 100.0
+        assert unit.elapsed(123.0) == pytest.approx(23.0)
+        unit.first_started = 90.0  # earliest attempt wins when present
+        assert unit.elapsed(123.0) == pytest.approx(33.0)
+
+
+class TestPlanDedup:
+    def test_duplicate_units_simulate_once_and_share_outcome(
+            self, small_plan, serial_results, monkeypatch):
+        calls = []
+        real = executor_module.execute_spec
+
+        def counting(spec):
+            calls.append(spec.digest())
+            return real(spec)
+
+        monkeypatch.setattr(executor_module, "execute_spec", counting)
+        spec = small_plan[0]
+        plan = [spec, small_plan[1], spec, spec]
+        lines = []
+        results = run_plan(plan, jobs=1, progress=lines.append)
+        assert len(calls) == 2  # one simulation per distinct digest
+        assert set(calls) == {spec.digest(), small_plan[1].digest()}
+        assert results[0] is results[2] is results[3]
+        assert results[0].to_dict() == serial_results[0].to_dict()
+        assert lines.count(f"{spec.label} (coalesced)") == 2
+
+    def test_cache_hits_win_before_dedup(self, small_plan, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = small_plan[0]
+        run_plan([spec], jobs=1, cache=cache)
+        results = run_plan([spec, spec], jobs=1, cache=cache)
+        assert cache.hits == 2  # both slots served from cache, no sim
+        assert _dicts(results) == _dicts([results[0], results[0]])
+
+    def test_coalesced_units_emit_events(self, small_plan):
+        from repro import obs
+
+        observer = obs.enable(ring=1024)
+        try:
+            spec = small_plan[0]
+            run_plan([spec, spec], jobs=1)
+            events = observer.sinks[0].events("unit.coalesced")
+            assert len(events) == 1
+            assert events[0].data["digest"] == spec.digest()
+        finally:
+            obs.disable()
+
 
 class TestResultCache:
     def test_hit_skips_simulation(self, small_plan, serial_results,

@@ -1,0 +1,314 @@
+"""Tests for ``repro.serve``: admission control, the daemon, the client.
+
+The concurrency-sensitive guarantees from DESIGN §14 are exercised over
+real sockets with a :class:`~repro.serve.ThreadedServer`: concurrent
+identical cold requests coalesce onto one simulation, cache hits keep
+flowing while admission control is saturated by cold work, both
+transports (TCP and Unix-domain) round-trip digests and labels, and a
+restarted daemon serves previously computed digests from the result
+cache without re-simulating anything.
+"""
+
+import concurrent.futures as cf
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.runtime import ExecutionPlan
+from repro.serve import (
+    AdmissionController,
+    ServeClient,
+    ServeConfig,
+    ServeRejected,
+    ServeUnavailable,
+    ThreadedServer,
+    TokenBucket,
+    parse_endpoint,
+)
+from repro.sim.config import SystemConfig
+
+SMALL_SCALES = {"DCT": 64, "RAJ": 32}
+SMALL_SYSTEM = SystemConfig(
+    num_sms=4,
+    l1_bytes=1024,
+    l2_bytes=16 * 1024,
+    tb_size=64,
+    max_tbs_per_sm=2,
+    kernel_launch_cycles=100,
+)
+
+
+@pytest.fixture(scope="module")
+def small_plan():
+    return ExecutionPlan.for_sweep(
+        ("DCT", "RAJ"), ("PR", "CC"),
+        max_iters=2,
+        scales=SMALL_SCALES,
+        base_system=SMALL_SYSTEM,
+    )
+
+
+def _uds_config(tmp_path, **overrides):
+    defaults = dict(uds=tmp_path / "serve.sock",
+                    cache_dir=tmp_path / "cache")
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# Admission control (pure, fake-clock)
+
+
+class _FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = _FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+        for _ in range(4):
+            ok, _wait = bucket.try_take()
+            assert ok
+        ok, wait = bucket.try_take()
+        assert not ok
+        assert wait == pytest.approx(0.5)  # 1 token at 2/s
+        clock.now += 0.5
+        ok, _wait = bucket.try_take()
+        assert ok
+
+    def test_refill_caps_at_burst(self):
+        clock = _FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3.0, clock=clock)
+        clock.now += 1000.0  # idle client must not bank unlimited credit
+        for _ in range(3):
+            assert bucket.try_take()[0]
+        assert not bucket.try_take()[0]
+
+
+class TestAdmissionController:
+    def test_capacity_bound_and_release(self):
+        clock = _FakeClock()
+        control = AdmissionController(max_inflight_units=2,
+                                      client_rate=100.0, client_burst=100.0,
+                                      capacity_retry_after=0.25, clock=clock)
+        assert control.try_admit("a")
+        assert control.try_admit("a")
+        verdict = control.try_admit("a")
+        assert not verdict
+        assert verdict.reason == "capacity"
+        assert verdict.retry_after == pytest.approx(0.25)
+        control.release()
+        assert control.try_admit("a")
+
+    def test_per_client_buckets_are_independent(self):
+        clock = _FakeClock()
+        control = AdmissionController(max_inflight_units=100,
+                                      client_rate=1.0, client_burst=2.0,
+                                      clock=clock)
+        assert control.try_admit("greedy")
+        assert control.try_admit("greedy")
+        verdict = control.try_admit("greedy")
+        assert not verdict
+        assert verdict.reason == "rate"
+        assert verdict.retry_after > 0
+        assert control.try_admit("polite")  # unaffected by the other client
+
+    def test_capacity_rejection_does_not_charge_the_bucket(self):
+        clock = _FakeClock()
+        control = AdmissionController(max_inflight_units=1,
+                                      client_rate=1.0, client_burst=1.0,
+                                      clock=clock)
+        assert control.try_admit("a")  # takes capacity AND a's one token
+        assert control.try_admit("b").reason == "capacity"
+        control.release()
+        # b's token must still be there: the full pool rejected b before
+        # its bucket was charged.
+        assert control.try_admit("b")
+
+
+class TestParseEndpoint:
+    def test_forms(self, tmp_path):
+        assert parse_endpoint("http://127.0.0.1:8080") == \
+            ("tcp", "127.0.0.1", 8080)
+        assert parse_endpoint("unix:///tmp/x.sock") == \
+            ("uds", "/tmp/x.sock", None)
+        assert parse_endpoint(str(tmp_path / "s.sock")) == \
+            ("uds", str(tmp_path / "s.sock"), None)
+
+    def test_rejects_bad_forms(self):
+        with pytest.raises(ValueError):
+            parse_endpoint("http://nohost")
+        with pytest.raises(ValueError):
+            parse_endpoint("ftp://x")
+
+
+# ---------------------------------------------------------------------------
+# The daemon over real sockets
+
+
+class TestServerRoundTrip:
+    def test_uds_round_trip_digests_and_labels(self, tmp_path, small_plan):
+        spec = small_plan[0]
+        with ThreadedServer(_uds_config(tmp_path)) as server:
+            with ServeClient(server.endpoints[0]) as client:
+                assert client.health()["status"] == "ok"
+                cold = client.submit(spec)
+                assert cold["status"] == "ok"
+                assert cold["source"] == "simulated"
+                assert cold["digest"] == spec.digest()
+                assert cold["label"] == spec.label
+                warm = client.submit(spec)
+                assert warm["source"] == "cache"
+                assert warm["digest"] == spec.digest()
+                assert warm["result"] == cold["result"]
+                stats = client.stats()
+                assert stats["simulated"] == 1
+                assert stats["hits"] == 1
+
+    def test_tcp_round_trip_digests_and_labels(self, tmp_path, small_plan):
+        spec = small_plan[1]
+        config = ServeConfig(port=0, cache_dir=tmp_path / "cache")
+        with ThreadedServer(config) as server:
+            endpoint = server.endpoints[0]
+            assert endpoint.startswith("http://127.0.0.1:")
+            with ServeClient(endpoint) as client:
+                cold = client.submit(spec)
+                assert cold["status"] == "ok"
+                assert cold["digest"] == spec.digest()
+                assert cold["label"] == spec.label
+                assert client.submit(spec)["source"] == "cache"
+
+    def test_submit_many_preserves_order(self, tmp_path, small_plan):
+        specs = list(small_plan)
+        with ThreadedServer(_uds_config(tmp_path)) as server:
+            with ServeClient(server.endpoints[0]) as client:
+                outcomes = client.submit_many(specs)
+        assert [env["digest"] for env in outcomes] == \
+            [spec.digest() for spec in specs]
+        assert all(env["status"] == "ok" for env in outcomes)
+
+    def test_unavailable_endpoint_raises(self, tmp_path):
+        client = ServeClient(f"unix://{tmp_path}/nothing.sock")
+        with pytest.raises(ServeUnavailable):
+            client.health()
+
+
+class TestServerConcurrency:
+    def test_concurrent_identical_cold_requests_coalesce(
+            self, tmp_path, small_plan):
+        spec = small_plan[0]
+        fanout = 6
+        barrier = threading.Barrier(fanout)
+        with ThreadedServer(_uds_config(tmp_path)) as server:
+            endpoint = server.endpoints[0]
+
+            def submit():
+                with ServeClient(endpoint) as client:
+                    barrier.wait()
+                    return client.submit(spec)
+
+            with cf.ThreadPoolExecutor(fanout) as pool:
+                envelopes = [future.result() for future in
+                             [pool.submit(submit) for _ in range(fanout)]]
+            with ServeClient(endpoint) as client:
+                stats = client.stats()
+        assert all(env["status"] == "ok" for env in envelopes)
+        assert all(env["digest"] == spec.digest() for env in envelopes)
+        # One simulation total; everyone else joined it in flight.
+        assert stats["simulated"] == 1
+        assert stats["coalesced"] == fanout - 1
+        assert sorted(env["source"] for env in envelopes) == \
+            sorted(["simulated"] + ["coalesced"] * (fanout - 1))
+
+    def test_cache_hits_flow_while_admission_is_saturated(
+            self, tmp_path, small_plan):
+        import dataclasses
+
+        warm_spec, cold_spec = small_plan[0], small_plan[3]
+        slow_spec = dataclasses.replace(cold_spec, max_iters=8)
+        config = _uds_config(tmp_path, max_inflight_units=1,
+                             capacity_retry_after=0.05)
+        with ThreadedServer(config) as server:
+            endpoint = server.endpoints[0]
+            with ServeClient(endpoint, client_id="warmer") as client:
+                client.submit(warm_spec)  # prime the cache
+
+            hold = cf.ThreadPoolExecutor(1).submit(
+                lambda: ServeClient(endpoint, client_id="cold").submit(
+                    slow_spec))
+            with ServeClient(endpoint, client_id="probe") as probe:
+                # Wait until the cold unit actually occupies the pool.
+                for _ in range(200):
+                    if probe.stats()["inflight_units"] >= 1:
+                        break
+                    time.sleep(0.005)
+                else:
+                    pytest.fail("cold unit never became in-flight")
+                # Cold work beyond capacity bounces fast...
+                with pytest.raises(ServeRejected) as rejected:
+                    probe.submit(small_plan[2], max_wait=0.0)
+                assert rejected.value.envelope["reason"] == "capacity"
+                # ...while warm hits sail through admission untouched.
+                start = time.monotonic()
+                envelope = probe.submit(warm_spec)
+                hit_latency = time.monotonic() - start
+                assert envelope["source"] == "cache"
+                assert hit_latency < 1.0
+            assert hold.result()["status"] == "ok"
+
+    def test_restart_serves_from_cache_with_zero_resimulation(
+            self, tmp_path, small_plan):
+        specs = list(small_plan[:2])
+        config = _uds_config(tmp_path)
+        with ThreadedServer(config) as server:
+            with ServeClient(server.endpoints[0]) as client:
+                first = client.submit_many(specs)
+        assert all(env["status"] == "ok" for env in first)
+
+        # Same cache directory, fresh daemon: every digest must come
+        # back from disk, with the simulation path never engaged.
+        with ThreadedServer(config) as server:
+            with ServeClient(server.endpoints[0]) as client:
+                second = client.submit_many(specs)
+                stats = client.stats()
+        assert [env["digest"] for env in second] == \
+            [env["digest"] for env in first]
+        assert all(env["source"] == "cache" for env in second)
+        assert [env["result"] for env in second] == \
+            [env["result"] for env in first]
+        assert stats["simulated"] == 0
+        assert stats["misses"] == 0
+        assert stats["hits"] == len(specs)
+
+
+class TestServerObservability:
+    def test_serve_events_stream_without_drops(self, tmp_path, small_plan):
+        spec = small_plan[0]
+        observer = obs.enable(ring=65536)
+        try:
+            with ThreadedServer(_uds_config(tmp_path)) as server:
+                with ServeClient(server.endpoints[0]) as client:
+                    client.submit(spec)
+                    client.submit(spec)
+            ring = observer.sinks[0]
+            assert ring.dropped == 0
+            for kind in ("serve.started", "serve.request", "serve.miss",
+                         "serve.admitted", "serve.batch", "serve.hit",
+                         "serve.stopped"):
+                assert ring.events(kind), f"no {kind} event"
+            hits = ring.events("serve.hit")
+            assert hits[0].data["digest"] == spec.digest()
+        finally:
+            obs.disable()
+
+    def test_stats_report_obs_drops(self, tmp_path, small_plan):
+        with ThreadedServer(_uds_config(tmp_path)) as server:
+            with ServeClient(server.endpoints[0]) as client:
+                assert client.stats()["obs_dropped"] == 0
