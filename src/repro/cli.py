@@ -23,6 +23,10 @@ results are memoized per workload in a content-addressed cache
 workloads across N worker processes.  ``sweep --graphs``/``--apps``
 restrict the sweep to a subset of the graph x application matrix (the
 paper's six apps plus the frontier-IR additions BFS, KC, TC, LP).
+``sweep --prune-k K [--explore N]`` prunes each workload to the
+model's top-K configurations (plus the normalization baseline and N
+deterministic exploration picks) instead of the full Figure 5 grid —
+see ``repro.model.pruning``.
 
 Observability (``repro.obs``) is off by default and never changes
 modeled numbers: ``--events PATH`` streams typed runtime events (unit
@@ -315,11 +319,38 @@ def _split_choices(raw: str | None, universe: tuple[str, ...],
 def _gap_cell(row) -> str:
     """The sweep table's Exact column; NaN gaps read as unmeasurable."""
     if row.prediction_exact:
-        return "yes"
+        # A pruned row can match the best *simulated* config while the
+        # true optimum was never run; label it rather than claim a hit.
+        return "yes" if row.oracle_known else "yes (of simulated)"
     gap = row.prediction_gap
     if math.isnan(gap):
         return "no (not simulated)"
     return f"no ({gap:.2f}x)"
+
+
+def _resolve_prune(args):
+    """The pruning policy ``--prune-k``/``--explore`` select (else None)."""
+    if getattr(args, "prune_k", None) is None:
+        if getattr(args, "explore", 0):
+            raise SystemExit("--explore only applies with --prune-k")
+        return None
+    from .model.pruning import PruningPolicy
+
+    return PruningPolicy(k=args.prune_k, explore=args.explore)
+
+
+def _build_sweep_plan(args, graphs, apps):
+    """The sweep's execution plan, honoring any ``--prune-k`` restriction.
+
+    The resume and server paths must construct plans exactly as the
+    local ``run_sweep`` path does — same subsets, same digests — or
+    manifest resume and serve dedup would miss every pruned unit.
+    """
+    from .harness.sweep import plan_sweep
+
+    plan, _ = plan_sweep(graphs, apps, max_iters=args.iters,
+                         prune=_resolve_prune(args))
+    return plan
 
 
 def _report_resume(args, graphs, apps) -> None:
@@ -331,14 +362,14 @@ def _report_resume(args, graphs, apps) -> None:
     left to run — printed here so an operator sees the resume actually
     engaging before the first (slow) unit starts.
     """
-    from .runtime import ExecutionPlan, RunManifest
+    from .runtime import RunManifest
 
     if args.no_cache:
         raise SystemExit("--resume restores completed units from the "
                          "result cache; drop --no-cache")
     args.manifest = args.resume
     manifest = RunManifest(args.resume)
-    plan = ExecutionPlan.for_sweep(graphs, apps, max_iters=args.iters)
+    plan = _build_sweep_plan(args, graphs, apps)
     remaining = plan.remaining(manifest)
     print(f"resuming from {args.resume}: {len(plan) - len(remaining)} of "
           f"{len(plan)} unit(s) already complete, {len(remaining)} to go"
@@ -358,9 +389,14 @@ def _print_sweep(sweep) -> int:
     } for r in sweep.rows]
     print(render_table(rows, title="Sweep summary"))
     stats = flexibility_stats(sweep)
+    unknown = sweep.oracle_unknown_rows
+    suffix = (f" ({unknown} pruned row(s) lack the full grid; "
+              f"best-of-simulated matches: {sweep.exact_of_simulated})"
+              if unknown else "")
     print(f"\nmodel exact: {sweep.exact_predictions}/{len(sweep.rows)}; "
           f"default loses on {stats.default_losses} workloads "
-          f"(avg reduction {format_pct(stats.avg_reduction)})")
+          f"(avg reduction {format_pct(stats.avg_reduction)})"
+          + suffix)
     if sweep.failures:
         print(f"\n{len(sweep.failures)} workload(s) failed:",
               file=sys.stderr)
@@ -380,10 +416,9 @@ def _sweep_via_server(args, graphs, apps):
     """
     from .harness.runner import WorkloadResult
     from .harness.sweep import aggregate_sweep
-    from .runtime import ExecutionPlan
     from .serve import ServeClient, ServeUnavailable
 
-    plan = ExecutionPlan.for_sweep(graphs, apps, max_iters=args.iters)
+    plan = _build_sweep_plan(args, graphs, apps)
     try:
         with ServeClient(args.server, client_id="cli-sweep") as client:
             client.health()
@@ -419,6 +454,7 @@ def _cmd_sweep(args) -> int:
 
     graphs = _split_choices(args.graphs, GRAPHS, "graph") or GRAPHS
     apps = _split_choices(args.apps, APPS, "app") or APPS
+    _resolve_prune(args)  # validates --prune-k/--explore up front
     if args.server:
         sweep = _sweep_via_server(args, graphs, apps)
         if sweep is not None:
@@ -433,6 +469,8 @@ def _cmd_sweep(args) -> int:
             graphs=graphs,
             apps=apps,
             max_iters=args.iters,
+            prune_k=args.prune_k,
+            explore=args.explore,
             jobs=1 if profiling else args.jobs,
             cache=None if profiling else _resolve_cache(args),
             progress=lambda label: print(f"  {label}", flush=True),
@@ -658,6 +696,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="multinode lease time-to-live before a "
                               "stalled node's unit is stolen "
                               f"(default {DEFAULT_LEASE_TTL:g})")
+    p_sweep.add_argument("--prune-k", type=int, default=None, metavar="K",
+                         help="prediction-guided pruning: simulate only "
+                              "the model's top-K configurations per "
+                              "workload (plus the baseline) instead of "
+                              "the full Figure 5 grid")
+    p_sweep.add_argument("--explore", type=int, default=0, metavar="N",
+                         help="with --prune-k, also simulate N "
+                              "deterministically sampled configurations "
+                              "outside the top-K (active-learning "
+                              "exploration budget; default 0)")
     p_sweep.add_argument("--resume", default=None, metavar="MANIFEST",
                          help="resume an interrupted sweep from its "
                               "manifest journal: completed units restore "

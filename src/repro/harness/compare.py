@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from .sweep import SweepResult, SweepRow, is_dynamic_app
@@ -30,12 +31,21 @@ class Figure6Row:
 
 
 def figure6_rows(sweep: SweepResult) -> list[Figure6Row]:
-    """Rows of Figure 6: every workload where SGR/DGR is not the best."""
+    """Rows of Figure 6: every workload where SGR/DGR is not the best.
+
+    Pruned rows that never simulated the reference config are skipped —
+    with no SGR/DGR bar there is nothing to normalize the comparison
+    against.  A prediction outside the simulated set reads as a ``nan``
+    ``pred_time`` rather than a crash.
+    """
     rows = []
     for row in sweep.rows_where_config_loses("SGR", "DGR"):
         reference = "DGR" if is_dynamic_app(row.app) else "SGR"
         cycles = {code: res.cycles for code, res in row.workload.results.items()}
-        ref = cycles[reference]
+        ref = cycles.get(reference)
+        if ref is None:
+            continue
+        pred = cycles.get(row.predicted)
         rows.append(Figure6Row(
             graph=row.graph,
             app=row.app,
@@ -44,7 +54,7 @@ def figure6_rows(sweep: SweepResult) -> list[Figure6Row]:
             best_code=row.best,
             best_time=cycles[row.best] / ref,
             pred_code=row.predicted,
-            pred_time=cycles[row.predicted] / ref,
+            pred_time=pred / ref if pred is not None else math.nan,
         ))
     return rows
 
@@ -90,6 +100,10 @@ def interdependence_rows(sweep: SweepResult) -> list[dict]:
                   for code, res in row.workload.results.items()}
         restricted = {code: c for code, c in cycles.items()
                       if not code.endswith("R")}
+        if not restricted:
+            # A row simulating only DRFrlx configs (a hand-built or
+            # pruned fragment) has no non-relaxed candidate to compare.
+            continue
         best_restricted = min(restricted, key=restricted.get)
         flipped_direction = best_restricted[0] != row.best[0]
         rows.append({

@@ -55,10 +55,20 @@ class WorkloadResult:
         :func:`run_workload` to the first configuration it was handed,
         which for Figure 5 ordering is the paper's normalization bar —
         TG0 for static apps, DG1 for CC), falling back to the first
-        stored configuration for hand-built results.
+        stored configuration for hand-built results that declared no
+        baseline at all.  A baseline that *was* declared (or requested)
+        but never simulated — a pruned sweep whose subset dropped it —
+        raises a clear ``ValueError`` instead of normalizing against an
+        arbitrary config.
         """
         if baseline is None:
             baseline = self.baseline or next(iter(self.results))
+        if baseline not in self.results:
+            raise ValueError(
+                f"baseline {baseline!r} was not simulated for "
+                f"{self.app}/{self.graph_name}; have "
+                f"{sorted(self.results)}"
+            )
         base = self.results[baseline].cycles
         if base == 0:
             raise ZeroDivisionError("baseline configuration took 0 cycles")

@@ -13,17 +13,21 @@ interrupted sweeps only simulate what is missing.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable
 
+from ..configs import figure5_configurations
 from ..graph.datasets import DEFAULT_SIM_SCALE
 from ..kernels.registry import KERNELS
 from ..model import predict_configuration, predict_partial_configuration
+from ..model.pruning import LearnedRanker, PruningPolicy, sweep_baseline
 from ..obs import OBSERVER as _obs
 from ..runtime import (
     ExecutionPlan,
     FaultInjector,
+    GraphRef,
     ResultCache,
     RetryPolicy,
     RunManifest,
@@ -32,12 +36,13 @@ from ..runtime import (
     make_backend,
     run_plan,
 )
-from ..sim.config import DEFAULT_SYSTEM, SystemConfig
+from ..sim.config import DEFAULT_SYSTEM, SystemConfig, scaled_system
 from ..taxonomy import profile_graph, profile_workload
 from .runner import WorkloadResult
 
-__all__ = ["SweepRow", "SweepResult", "run_sweep", "aggregate_sweep",
-           "APPS", "PAPER_APPS", "GRAPHS", "is_dynamic_app"]
+__all__ = ["SweepRow", "SweepResult", "run_sweep", "plan_sweep",
+           "aggregate_sweep", "APPS", "PAPER_APPS", "GRAPHS",
+           "is_dynamic_app"]
 
 #: The full application matrix, derived from the kernel registry —
 #: registering a new kernel automatically adds it to sweeps and the CLI.
@@ -62,34 +67,82 @@ def is_dynamic_app(app: str) -> bool:
 
 @dataclass
 class SweepRow:
-    """One workload's outcome across its Figure 5 configurations."""
+    """One workload's outcome across its Figure 5 configurations.
+
+    A row may cover only a *subset* of the grid (a pruned sweep, a
+    partially served response): :attr:`oracle_known` says whether
+    :attr:`best` is the true best over the full Figure-5 set or merely
+    the best of what was simulated, and consumers that compare against
+    the oracle must check it.
+    """
 
     graph: str
     app: str
     workload: WorkloadResult
     predicted: str
     predicted_partial: str
+    #: The workload profile aggregation computed for the prediction
+    #: (None on hand-built rows).  Carried so downstream consumers — the
+    #: active-learning retrain loop chiefly — can pair realized timings
+    #: with the model's feature vector without re-profiling the graph.
+    profile: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def best(self) -> str:
-        """Empirically fastest configuration code."""
+        """Fastest *simulated* configuration code (see ``oracle_known``)."""
         return self.workload.best_code
 
     @property
     def baseline(self) -> str:
-        """The normalization bar (TG0, or DG1 for dynamic apps)."""
-        return self.workload.baseline or next(iter(self.workload.results))
+        """The normalization bar (TG0, or DG1 for dynamic apps).
+
+        Falls back to the app's Figure-5 bar when the workload result
+        declared none (hand-built rows) — never to dict insertion order,
+        which in a pruned or reordered result is an arbitrary config.
+        """
+        declared = self.workload.baseline
+        if declared is not None:
+            return declared
+        return sweep_baseline(KERNELS[self.app].traversal)
+
+    @property
+    def baseline_simulated(self) -> bool:
+        """Was the true normalization bar among the simulated configs?"""
+        return self.baseline in self.workload.results
 
     def normalized(self) -> dict[str, float]:
-        """Execution time of each configuration relative to the baseline."""
-        return self.workload.normalized()
+        """Execution time of each configuration relative to the baseline.
+
+        Rows whose true baseline was never simulated are NaN-tagged
+        (every value ``nan``) rather than silently renormalized against
+        whichever config happened to come first: a pruned sweep that
+        dropped its baseline has no honest Figure-5 normalization.
+        """
+        if not self.baseline_simulated:
+            return {code: math.nan for code in self.workload.results}
+        return self.workload.normalized(self.baseline)
+
+    @property
+    def oracle_known(self) -> bool:
+        """Does this row's simulated set cover the full Figure-5 grid?
+
+        Only then is :attr:`best` the oracle best; in a restricted sweep
+        it is merely best-of-simulated and ``prediction_exact`` /
+        ``prediction_gap`` compare against a lower bound.
+        """
+        expected = {config.code for config in figure5_configurations(
+            KERNELS[self.app].traversal)}
+        return expected <= set(self.workload.results)
 
     @property
     def prediction_exact(self) -> bool:
-        """Did the model pick the empirically best configuration?
+        """Did the model pick the best *simulated* configuration?
 
         A prediction outside the simulated set can never be exact, so
-        restricted sweeps count it as a miss.
+        restricted sweeps count it as a miss — and an exact hit on a
+        restricted row (``oracle_known`` False) only certifies
+        best-of-subset, which reporting must label rather than count as
+        a clean oracle hit (see :attr:`SweepResult.exact_predictions`).
         """
         return self.predicted == self.best
 
@@ -101,7 +154,9 @@ class SweepRow:
         simulated configurations (a restricted sweep): the gap is
         unknowable there, and crashing Table-V generation over it would
         hide every measured row.  Reporting treats ``nan`` as a miss
-        with no measurable gap.
+        with no measurable gap.  When ``oracle_known`` is False a finite
+        gap is measured against best-of-simulated and therefore
+        *understates* the true oracle gap.
         """
         cycles = self.workload.results
         predicted = cycles.get(self.predicted)
@@ -151,7 +206,26 @@ class SweepResult:
 
     @property
     def exact_predictions(self) -> int:
+        """Rows where the model provably picked the oracle best.
+
+        Restricted rows (``oracle_known`` False) are excluded: there
+        "predicted == best-of-simulated" certifies only a lower bound,
+        and counting it as a clean hit overstated Table-V accuracy on
+        pruned sweeps.  Use :attr:`exact_of_simulated` for the weaker
+        count.
+        """
+        return sum(row.prediction_exact and row.oracle_known
+                   for row in self.rows)
+
+    @property
+    def exact_of_simulated(self) -> int:
+        """Rows where the model picked the best *simulated* config."""
         return sum(row.prediction_exact for row in self.rows)
+
+    @property
+    def oracle_unknown_rows(self) -> int:
+        """Rows whose simulated set does not cover the full grid."""
+        return sum(not row.oracle_known for row in self.rows)
 
     def rows_where_config_loses(self, code: str = "SGR",
                                 dynamic_code: str = "DGR") -> list:
@@ -176,6 +250,75 @@ def _resolve_cache(
     return ResultCache(cache)
 
 
+def _graph_profile(graph_key: str, scale: int, seed: int,
+                   base_system: SystemConfig):
+    """Profile one dataset at its simulation scale (aggregation's view)."""
+    ref = GraphRef.dataset(graph_key, scale=scale, seed=seed)
+    return profile_graph(
+        load_graph(ref),
+        num_sms=base_system.num_sms,
+        l1_bytes=base_system.l1_bytes // scale,
+        l2_bytes=base_system.l2_bytes // scale,
+        tb_size=base_system.tb_size,
+    )
+
+
+def plan_sweep(
+    graphs: Iterable[str],
+    apps: Iterable[str],
+    max_iters: int | None = None,
+    seed: int = 0,
+    scales: dict[str, int] | None = None,
+    base_system: SystemConfig = DEFAULT_SYSTEM,
+    prune: PruningPolicy | None = None,
+) -> tuple[ExecutionPlan, dict | None]:
+    """Build the sweep's :class:`ExecutionPlan`, optionally pruned.
+
+    With ``prune`` set, each workload is profiled, its Figure-5 config
+    space ranked by the policy (tree first, analytic tie-break, learned
+    ranker when installed), and the unit restricted to the selected
+    subset — the baseline always included so rows stay normalizable.
+    Returns ``(plan, subsets)`` where ``subsets`` maps ``(graph, app)``
+    to the kept codes (None for an unpruned plan).
+
+    Every consumer that must agree on unit digests — local execution,
+    ``sweep --server`` submission, ``--resume`` accounting — builds its
+    plan here, so a pruned sweep resumes and dedups exactly like a full
+    one.  Emits one ``sweep.pruned`` event per restricted workload.
+    """
+    graphs = tuple(graphs)
+    apps = tuple(apps)
+    scales = scales or DEFAULT_SIM_SCALE
+    subsets: dict | None = None
+    if prune is not None:
+        subsets = {}
+        for graph_key in graphs:
+            scale = scales[graph_key]
+            graph_profile = _graph_profile(graph_key, scale, seed,
+                                           base_system)
+            system = scaled_system(scale, base_system)
+            for app in apps:
+                profile = profile_workload(graph_profile, app)
+                subset = prune.subset(profile, system)
+                subsets[(graph_key, app)] = subset
+                grid = figure5_configurations(KERNELS[app].traversal)
+                _obs.emit(
+                    "sweep.pruned", graph=graph_key, app=app,
+                    k=prune.k, explore=prune.explore,
+                    kept=list(subset),
+                    dropped=[c.code for c in grid
+                             if c.code not in subset])
+    plan = ExecutionPlan.for_sweep(
+        graphs, apps,
+        max_iters=max_iters,
+        seed=seed,
+        scales=scales,
+        base_system=base_system,
+        configs_for=subsets,
+    )
+    return plan, subsets
+
+
 def run_sweep(
     graphs: Iterable[str] = GRAPHS,
     apps: Iterable[str] = APPS,
@@ -194,6 +337,9 @@ def run_sweep(
     nodes: int = 2,
     queue_dir: str | Path | None = None,
     lease_ttl: float | None = None,
+    prune_k: int | None = None,
+    explore: int = 0,
+    ranker: LearnedRanker | None = None,
 ) -> SweepResult:
     """Run the full evaluation sweep.
 
@@ -222,18 +368,32 @@ def run_sweep(
     supervised worker processes over a crash-safe work queue (rooted at
     ``queue_dir`` when given, so external ``repro worker`` nodes can
     join and interrupted queues can be resumed).
+
+    ``prune_k`` switches on prediction-guided pruning: each workload
+    simulates only its model-ranked top-``k`` configurations plus
+    ``explore`` seeded exploration picks (and always the Figure-5
+    baseline) instead of the full grid — see
+    :class:`repro.model.pruning.PruningPolicy`.  ``ranker`` installs a
+    retrained :class:`~repro.model.pruning.LearnedRanker` whose pick
+    leads the ranking (the active-learning loop's feedback path).
+    Pruned rows have ``oracle_known`` False.
     """
     graphs = tuple(graphs)
     apps = tuple(apps)
     scales = scales or DEFAULT_SIM_SCALE
+    prune = None
+    if prune_k is not None:
+        prune = PruningPolicy(k=prune_k, explore=explore, seed=seed,
+                              ranker=ranker)
 
     _obs.emit("sweep.phase", name="plan", boundary="begin")
-    plan = ExecutionPlan.for_sweep(
+    plan, _ = plan_sweep(
         graphs, apps,
         max_iters=max_iters,
         seed=seed,
         scales=scales,
         base_system=base_system,
+        prune=prune,
     )
     _obs.emit("sweep.phase", name="plan", boundary="end")
 
@@ -281,13 +441,28 @@ def aggregate_sweep(
     care where the simulations ran.  Failures
     (:class:`~repro.runtime.UnitFailure`) land in ``failures`` and leave
     no row.
+
+    Both sequences must cover the full ``graphs`` x ``apps`` grid; a
+    short ``workloads`` (a truncated ``sweep --server`` response stream)
+    or a short ``plan`` raises a ``ValueError`` naming the expected and
+    received unit counts rather than leaking a bare ``StopIteration``
+    out of the aggregation loop.
     """
     graphs = tuple(graphs)
     apps = tuple(apps)
     scales = scales or DEFAULT_SIM_SCALE
+    plan_units = list(plan)
+    outcomes = list(workloads)
+    expected = len(graphs) * len(apps)
+    if len(plan_units) != expected or len(outcomes) != expected:
+        raise ValueError(
+            f"aggregate_sweep: expected {expected} unit(s) for "
+            f"{len(graphs)} graph(s) x {len(apps)} app(s), received "
+            f"{len(plan_units)} plan unit(s) and {len(outcomes)} "
+            f"workload outcome(s)")
     _obs.emit("sweep.phase", name="aggregate", boundary="begin")
     result = SweepResult()
-    units = iter(zip(plan, workloads))
+    units = iter(zip(plan_units, outcomes))
     for graph_key in graphs:
         scale = scales[graph_key]
         graph_profile = None
@@ -313,6 +488,7 @@ def aggregate_sweep(
                 workload=workload,
                 predicted=predicted.code,
                 predicted_partial=partial.code,
+                profile=workload_profile,
             ))
     _obs.emit("sweep.phase", name="aggregate", boundary="end")
     return result

@@ -9,6 +9,14 @@ from .analytic import (
 from .decision_tree import explain_prediction, predict_configuration
 from .features import ModelFeatures, extract_features, workload_profile
 from .partial import predict_partial_configuration
+from .pruning import (
+    ActiveLearningReport,
+    LearnedRanker,
+    PruningPolicy,
+    TrainingExample,
+    active_learn,
+    fit_ranker,
+)
 
 __all__ = [
     "predict_configuration",
@@ -17,6 +25,12 @@ __all__ = [
     "ModelFeatures",
     "extract_features",
     "workload_profile",
+    "PruningPolicy",
+    "TrainingExample",
+    "LearnedRanker",
+    "fit_ranker",
+    "ActiveLearningReport",
+    "active_learn",
     "AnalyticEstimate",
     "estimate_cost",
     "estimate_design_space",

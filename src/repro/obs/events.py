@@ -59,6 +59,9 @@ EVENT_KINDS = (
     "cache.miss",         # digest, label
     "cache.store",        # digest, label
     "cache.corrupt",      # digest, label (entry unlinked / self-healed)
+    # Prediction-guided sweep pruning (repro.model.pruning).
+    "sweep.pruned",       # graph, app, k, explore, kept, dropped
+    "model.retrain",      # examples, train, holdout, accuracy, round
     # Simulation.
     "workload.simulated",  # app, graph, ops, rounds, configs
     "sim.batch",           # kernel, rounds, mean_width, max_width,

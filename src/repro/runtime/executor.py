@@ -96,6 +96,10 @@ def execute_spec(spec: WorkloadSpec) -> WorkloadResult:
         max_iters=spec.max_iters,
         seed=spec.seed,
     )
+    # The spec names its normalization bar explicitly; honor it even
+    # when a restricted config subset was not handed over baseline-first
+    # (run_workload defaults to the first config it received).
+    result.baseline = spec.baseline
     return result
 
 
